@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark targets.
+
+Every file in this directory regenerates one of the paper's tables or
+figures: it prints the paper-style rows/series, writes them under
+``results/``, asserts the DESIGN.md shape criteria, and benchmarks the
+underlying primitive with pytest-benchmark.
+
+Run them all with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Set ``REPRO_FULL=1`` for paper-scale runs (Figure 11's 200,000 threads).
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import save_report
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report block and persist it under results/."""
+    print("\n" + text)
+    path = save_report(name, text)
+    print(f"[saved {path}]")

@@ -1,0 +1,52 @@
+"""Figure 12: NAS BT-MZ with and without thread-migration load balancing.
+
+Runs every configuration on the paper's x axis (A.8,4PE through B.64,8PE)
+twice — NullLB versus GreedyLB thread migration — and checks the paper's
+two observations: load balancing always helps, and same-class/same-PE
+configurations converge to about the same time with LB while varying
+dramatically without it.
+"""
+
+from conftest import emit
+
+from repro.balance import GreedyLB
+from repro.bench.figures import btmz_series
+from repro.bench.report import render_table
+from repro.workloads.btmz import BTMZConfig, run_btmz
+
+
+def test_fig12_btmz_load_balancing(benchmark):
+    results = btmz_series()
+    rows = []
+    for label, no_lb, with_lb in results:
+        rows.append([
+            label,
+            f"{no_lb.makespan_ns / 1e6:.1f}",
+            f"{with_lb.makespan_ns / 1e6:.1f}",
+            f"{no_lb.makespan_ns / with_lb.makespan_ns:.2f}x",
+            f"{with_lb.imbalance_before:.2f} -> {with_lb.imbalance_after:.2f}",
+            with_lb.migrations,
+        ])
+    emit("fig12_btmz.txt",
+         render_table(["config", "no LB (ms)", "with LB (ms)", "speedup",
+                       "max/avg load", "migrations"], rows,
+                      "Figure 12: BT-MZ execution time with vs without "
+                      "thread-migration load balancing"))
+
+    # LB never loses, and actually migrates something.
+    for label, no_lb, with_lb in results:
+        assert with_lb.makespan_ns < no_lb.makespan_ns, label
+        assert with_lb.migrations > 0, label
+
+    # Class B on 8 PEs: converged with LB, dramatic variation without.
+    b8_no = [n.makespan_ns for (l, n, w) in results
+             if l.startswith("B") and l.endswith("8PE")]
+    b8_lb = [w.makespan_ns for (l, n, w) in results
+             if l.startswith("B") and l.endswith("8PE")]
+    assert len(b8_no) == 3
+    assert max(b8_no) / min(b8_no) > 1.5       # dramatic variation
+    assert max(b8_lb) / min(b8_lb) < 1.3       # about the same
+
+    # Benchmark target: one small BT-MZ run with LB, end to end.
+    benchmark(lambda: run_btmz(BTMZConfig("S", 4, 2, iterations=2),
+                               GreedyLB()))

@@ -1,0 +1,31 @@
+"""Table 1: portability of migratable-thread techniques across platforms.
+
+Regenerates the Yes/Maybe/No matrix by *deriving* each cell from the
+platform's feature flags, and checks every cell against the paper.
+"""
+
+from conftest import emit
+
+from repro.bench.report import render_table
+from repro.bench.tables import TABLE1_COLUMNS, table1_rows
+
+#: The paper's Table 1, cell for cell.
+PAPER_TABLE1 = {
+    "Stack Copy":   ["Yes", "Maybe", "Yes", "Maybe", "Yes", "Yes", "Yes",
+                     "Maybe", "Yes"],
+    "Isomalloc":    ["Yes", "Yes", "Yes", "Yes", "Yes", "Yes", "Yes",
+                     "No", "Maybe"],
+    "Memory Alias": ["Yes", "Yes", "Yes", "Yes", "Yes", "Yes", "Yes",
+                     "Maybe", "Maybe"],
+}
+
+
+def test_table1_portability(benchmark):
+    rows = benchmark(table1_rows)
+    headers = ["Thread"] + [name for name, _ in TABLE1_COLUMNS]
+    emit("table1_portability.txt",
+         render_table(headers, rows,
+                      "Table 1: portability of migratable thread "
+                      "implementations (derived from feature flags)"))
+    for row in rows:
+        assert row[1:] == PAPER_TABLE1[row[0]], f"mismatch in {row[0]}"

@@ -1,0 +1,33 @@
+"""Table 2: practical limits on flow counts, measured by live probing."""
+
+from conftest import emit
+
+from repro.bench.report import render_table
+from repro.bench.tables import TABLE2_COLUMNS, table2_rows
+from repro.flows import KernelThreadFlow, probe_limit
+from repro.sim import Processor, get_platform
+
+#: The paper's Table 2 (Linux, Sun, IBM SP, Alpha, Mac OS, IA-64).
+PAPER_TABLE2 = {
+    "Process":            ["8000", "25000", "100", "1000", "500", "50000+"],
+    "Kernel Threads":     ["250", "3000", "2000", "90000+", "7000", "30000+"],
+    "User-level Threads": ["90000+", "90000+", "15000", "90000+", "90000+",
+                           "50000+"],
+}
+
+
+def test_table2_limits(benchmark):
+    rows = table2_rows()
+    headers = (["Flow of control", "Limiting Factor"]
+               + [name for name, _ in TABLE2_COLUMNS])
+    emit("table2_limits.txt",
+         render_table(headers, rows,
+                      "Table 2: approximate practical limits "
+                      "(measured by creating flows until refusal)"))
+    for row in rows:
+        assert row[2:] == PAPER_TABLE2[row[0]], f"mismatch in {row[0]}"
+
+    # Benchmark one representative probe (the Linux pthread limit).
+    benchmark(lambda: probe_limit(
+        KernelThreadFlow(Processor(0, get_platform("linux_x86"))),
+        cap=1_000, chunk=64))

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The Figure 12 experiment: BT-MZ under AMPI with thread migration.
+
+Runs the BT-MZ-like multi-zone workload over each of the paper's
+configurations twice — once without load balancing, once with GreedyLB
+thread migration at each iteration boundary — and prints the comparison
+the paper plots.
+
+Run:  python examples/ampi_btmz_loadbalance.py
+"""
+
+from repro.balance import GreedyLB, NullLB, RefineLB
+from repro.workloads.btmz import BTMZConfig, make_zones, run_btmz
+
+CASES = [("A", 8, 4), ("A", 16, 8), ("B", 16, 8), ("B", 32, 8),
+         ("B", 64, 8)]
+
+
+def main():
+    zones_a = make_zones("A")
+    pts = [z.points for z in zones_a]
+    print(f"BT-MZ class A: {len(zones_a)} zones, size ratio "
+          f"max/min = {max(pts) / min(pts):.1f} "
+          f"(the documented ~20x imbalance)\n")
+
+    print(f"{'config':>10} | {'no LB (ms)':>11} | {'GreedyLB (ms)':>13} | "
+          f"{'speedup':>7} | {'imbalance':>12} | migrations")
+    print("-" * 75)
+    for cls_name, nprocs, npes in CASES:
+        cfg = BTMZConfig(cls_name, nprocs, npes, iterations=6)
+        no_lb = run_btmz(cfg, NullLB())
+        with_lb = run_btmz(cfg, GreedyLB())
+        speedup = no_lb.makespan_ns / with_lb.makespan_ns
+        print(f"{cfg.label:>10} | {no_lb.makespan_ns / 1e6:>11.1f} | "
+              f"{with_lb.makespan_ns / 1e6:>13.1f} | {speedup:>7.2f} | "
+              f"{with_lb.imbalance_before:>5.2f} -> {with_lb.imbalance_after:<4.2f} | "
+              f"{with_lb.migrations}")
+
+    print("\nPaper's observation: same-class/same-PE runs converge with LB,")
+    print("vary dramatically without it.  Class B on 8 PEs:")
+    b_cases = [c for c in CASES if c[0] == "B" and c[2] == 8]
+    no_times, lb_times = [], []
+    for cls_name, nprocs, npes in b_cases:
+        cfg = BTMZConfig(cls_name, nprocs, npes, iterations=6)
+        no_times.append(run_btmz(cfg, NullLB()).makespan_ns / 1e6)
+        lb_times.append(run_btmz(cfg, GreedyLB()).makespan_ns / 1e6)
+    print(f"  without LB: {['%.1f' % t for t in no_times]} ms "
+          f"(spread {max(no_times) / min(no_times):.2f}x)")
+    print(f"  with LB:    {['%.1f' % t for t in lb_times]} ms "
+          f"(spread {max(lb_times) / min(lb_times):.2f}x)")
+
+    print("\nStrategy comparison on B.32,8PE:")
+    for strat in (NullLB(), RefineLB(), GreedyLB()):
+        res = run_btmz(BTMZConfig("B", 32, 8, iterations=6), strat)
+        print(f"  {strat.name:>9}: {res.makespan_ns / 1e6:8.1f} ms, "
+              f"{res.migrations:3d} migrations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Fault tolerance via migration (paper Section 3).
+
+Two demonstrations:
+
+1. **Proactive evacuation** — "migration can allow all the work to be moved
+   off a processor ... to vacate a node that is expected to fail": all
+   threads are drained off processor 0 before its 'failure', then finish
+   on the survivors.
+2. **Coordinated checkpoint/recovery** — "checkpointing is simply migration
+   to disk": AMPI ranks hit a checkpoint barrier, their full images are
+   written to a simulated disk (real serialized bytes, at ~100 MB/s with
+   seeks), processor 0 then fails, and its ranks are rebuilt from the
+   images on the surviving processor with their heap state intact.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.ampi import AmpiRuntime
+from repro.core import (Checkpointer, CthScheduler, IsomallocArena,
+                        IsomallocStacks, ThreadMigrator)
+from repro.sim import Cluster
+
+
+def build_cluster(n):
+    cluster = Cluster(n)
+    arena = IsomallocArena(cluster.platform.layout(), n,
+                           slot_bytes=256 * 1024)
+    scheds = [CthScheduler(cluster[pe],
+                           IsomallocStacks(cluster[pe].space,
+                                           cluster.platform, arena, pe,
+                                           stack_bytes=16 * 1024))
+              for pe in range(n)]
+    return cluster, scheds, ThreadMigrator(cluster, scheds)
+
+
+def demo_evacuation():
+    print("=== Proactive evacuation (vacate a failing node) ===")
+    cluster, scheds, migrator = build_cluster(3)
+    ck = Checkpointer(migrator)
+    finished = []
+
+    def worker(th, i):
+        data = th.malloc(64)
+        th.write_word(data, i * 11)
+        yield "suspend"
+        finished.append((i, th.read_word(data), th.scheduler.processor.id))
+
+    threads = [scheds[0].create(lambda th, i=i: worker(th, i))
+               for i in range(8)]
+    scheds[0].run()
+    print(f"  8 threads on pe0; pe0 'is expected to fail' — evacuating...")
+    moved = ck.evacuate(0)
+    cluster.run()
+    print(f"  moved {moved} threads, "
+          f"{migrator.bytes_shipped} bytes over the wire; pe0 now holds "
+          f"{cluster[0].space.resident_bytes} resident bytes")
+    for t in threads:
+        t.scheduler.awaken(t)
+    for s in scheds[1:]:
+        s.run()
+    pes = sorted({pe for _, _, pe in finished})
+    ok = all(v == i * 11 for i, v, _ in finished)
+    print(f"  all 8 finished on processors {pes}, data intact: {ok}\n")
+
+
+def demo_checkpoint_recovery():
+    print("=== Coordinated checkpoint + failure recovery ===")
+    results = {}
+
+    def main(mpi):
+        th = mpi.thread
+        acc = th.malloc(8)
+        th.write_word(acc, (mpi.rank + 1) * 100)
+        yield from mpi.checkpoint()            # <- images hit the disk here
+        total = yield from mpi.allreduce(th.read_word(acc), op="sum")
+        results[mpi.rank] = (total, mpi.my_pe)
+
+    rt = AmpiRuntime(2, 6, main)
+
+    def inject_failure():
+        lost = [r for r in range(6) if rt.rank_pe(r) == 0]
+        print(f"  checkpoint written ({rt.checkpointer.bytes_written} bytes "
+              f"on disk); processor 0 FAILS, losing ranks {lost}")
+        sched = rt.schedulers[0]
+        for rank in lost:
+            thread = rt.rank_thread[rank]
+            sched.remove(thread)
+            sched.stack_manager.evacuate(thread.stack)
+        for rank in lost:
+            rt.recover_rank(rank, dst_pe=1)
+        print(f"  ranks {lost} restored from disk onto processor 1")
+        rt.on_checkpoint = None
+
+    rt.on_checkpoint = inject_failure
+    rt.run()
+    expected = sum((r + 1) * 100 for r in range(6))
+    print(f"  computation completed: allreduce = "
+          f"{results[0][0]} (expected {expected})")
+    print(f"  final rank placement: "
+          f"{[results[r][1] for r in range(6)]} — everyone on pe1's side "
+          f"of the failure")
+
+
+if __name__ == "__main__":
+    demo_evacuation()
+    demo_checkpoint_recovery()

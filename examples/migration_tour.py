@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""A tour of the three thread-migration techniques (paper Section 3.4).
+
+For each of stack-copying, isomalloc, and memory-aliasing threads this
+example:
+
+1. creates threads whose stacks contain *self-referential pointers*;
+2. shows what one context switch costs under that technique (the Figure 9
+   trade-off);
+3. migrates a thread to another simulated processor and re-chases the
+   pointers there;
+4. reports the virtual-address and physical-memory footprint — the 32-bit
+   scalability story that motivates memory aliasing.
+
+Run:  python examples/migration_tour.py
+"""
+
+from repro.core import (CthScheduler, IsomallocArena, IsomallocStacks,
+                        MemoryAliasStacks, StackCopyStacks, ThreadMigrator)
+from repro.sim import Cluster
+
+STACK = 64 * 1024
+
+
+def build_world(technique):
+    cluster = Cluster(2, platform="linux_x86")
+    arena = IsomallocArena(cluster.platform.layout(), 2,
+                           slot_bytes=256 * 1024)
+    scheds = []
+    for pe in range(2):
+        space, prof = cluster[pe].space, cluster.platform
+        if technique == "isomalloc":
+            mgr = IsomallocStacks(space, prof, arena, pe, stack_bytes=STACK)
+        elif technique == "stack_copy":
+            mgr = StackCopyStacks(space, prof, stack_bytes=STACK)
+        else:
+            mgr = MemoryAliasStacks(space, prof, stack_bytes=STACK)
+        scheds.append(CthScheduler(cluster[pe], mgr))
+    return cluster, scheds, ThreadMigrator(cluster, scheds)
+
+
+def body(th):
+    """Store a pointer chain *inside the stack*: slot A points at slot B."""
+    a = th.alloca(16)
+    b = th.alloca(16)
+    th.write_word(a, b)             # stack pointer into the stack itself
+    th.write_word(b, 0xC0FFEE)
+    yield "suspend"
+    chased = th.read_word(th.read_word(a))
+    pe = th.scheduler.processor.id
+    print(f"      after migration (pe{pe}): *(*A) = {chased:#x} "
+          f"{'OK' if chased == 0xC0FFEE else 'DANGLING!'}")
+
+
+def main():
+    for technique in ("stack_copy", "isomalloc", "memory_alias"):
+        print(f"\n=== {technique} ===")
+        cluster, scheds, migrator = build_world(technique)
+        mgr = scheds[0].stack_manager
+        t1 = scheds[0].create(body, name="t1")
+        t2 = scheds[0].create(body, name="t2")
+        scheds[0].run()
+
+        # One switch cycle cost under this technique.
+        cost = mgr.switch_in(t1.stack)
+        cost += mgr.switch_out(t1.stack)
+        print(f"   one switch cycle: {cost / 1000:.2f} us "
+              f"(+{cluster.platform.uthread_switch_ns / 1000:.2f} us "
+              f"register swap)")
+        print(f"   concurrent active threads allowed: "
+              f"{'yes' if mgr.concurrent_active else 'no (single stack address)'}")
+
+        migrator.migrate(t1, 1)
+        cluster.run()
+        print(f"   migrated t1: {migrator.bytes_shipped} bytes over the wire")
+        scheds[1].awaken(t1)
+        scheds[1].run()
+        scheds[0].awaken(t2)
+        scheds[0].run()
+
+        space0 = cluster[0].space
+        print(f"   pe0 footprint: {space0.mapped_bytes // 1024} KB virtual, "
+              f"{space0.resident_bytes // 1024} KB physical, "
+              f"{space0.mmap_calls} mmap calls, "
+              f"{space0.bytes_copied // 1024} KB copied")
+
+    print("\nFigure 9 in one line: copy pays per byte, isomalloc pays "
+          "nothing, aliasing pays one remap —\nand all three keep every "
+          "pointer valid across the move.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: migratable user-level threads in 60 lines.
+
+Creates a two-processor simulated cluster, runs a few isomalloc-backed
+user-level threads on processor 0, builds a pointer-linked structure in
+migratable heap memory, migrates one thread to processor 1 mid-run, and
+shows that every pointer is still valid afterwards — the paper's core
+guarantee.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (CthScheduler, IsomallocArena, IsomallocStacks,
+                        ThreadMigrator)
+from repro.sim import Cluster
+
+
+def main():
+    # A 2-processor simulated cluster (x86 Linux profile) with the
+    # cluster-wide isomalloc partition agreed "at startup".
+    cluster = Cluster(2, platform="linux_x86")
+    arena = IsomallocArena(cluster.platform.layout(), num_pes=2)
+    schedulers = [
+        CthScheduler(cluster[pe],
+                     IsomallocStacks(cluster[pe].space, cluster.platform,
+                                     arena, pe, stack_bytes=32 * 1024),
+                     emulate_swap=True)
+        for pe in range(2)
+    ]
+    migrator = ThreadMigrator(cluster, schedulers)
+
+    def worker(th):
+        """A thread body: build a linked list in migratable heap memory."""
+        head = 0
+        for value in (30, 20, 10):
+            node = th.malloc(16)
+            th.write_word(node, value)        # node.value
+            th.write_word(node + 8, head)     # node.next
+            head = node
+        cell = th.alloca(8)                    # a stack slot pointing at heap
+        th.write_word(cell, head)
+        print(f"  [{th.name}] built list at {head:#x} on pe"
+              f"{th.scheduler.processor.id}")
+        yield "suspend"                        # wait here (CthSuspend)
+        # After migration: chase the pointers on the new processor.
+        values, cursor = [], th.read_word(cell)
+        while cursor:
+            values.append(th.read_word(cursor))
+            cursor = th.read_word(cursor + 8)
+        print(f"  [{th.name}] resumed on pe{th.scheduler.processor.id}; "
+              f"list reads {values} — pointers intact, no rewriting")
+
+    print("Creating threads on processor 0...")
+    threads = [schedulers[0].create(worker, name=f"worker{i}")
+               for i in range(3)]
+    schedulers[0].run()
+
+    print("Migrating worker1 to processor 1 "
+          f"({migrator.bytes_shipped} bytes shipped so far)...")
+    migrator.migrate(threads[1], dst_pe=1)
+    cluster.run()
+    print(f"  shipped {migrator.bytes_shipped} simulated bytes over the "
+          f"network (stack + heap + metadata)")
+
+    print("Resuming all threads...")
+    for t in threads:
+        t.scheduler.awaken(t)
+    for sched in schedulers:
+        sched.run()
+
+    print(f"\nVirtual time: pe0={cluster[0].now:.0f}ns, "
+          f"pe1={cluster[1].now:.0f}ns")
+    print(f"Context switches: pe0={schedulers[0].context_switches}, "
+          f"pe1={schedulers[1].context_switches}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Network-server concurrency: the paper's intro use case, three ways.
+
+"Web and other network servers, where communication with each client can be
+handled by a separate flow of control" (Section 1).  Each of 32 clients
+needs: read request (1 ms of blocking I/O), compute a response (0.2 ms),
+write response (0.5 ms of blocking I/O).
+
+Three servers handle the same workload on one simulated processor:
+
+* **threads, naive blocking** — every blocking call stalls the whole
+  process (Section 2.3's disadvantage);
+* **threads + intercepting runtime** — blocking calls are replaced with
+  non-blocking ones and other threads run meanwhile (the Pth-style layer);
+* **event-driven objects** — the same logic inverted into callbacks
+  (no stacks at all, but the handler is split across methods).
+
+Run:  python examples/server_concurrency.py
+"""
+
+from repro.charm import Chare, CharmRuntime, When
+from repro.core import CthScheduler, IsomallocArena, IsomallocStacks
+from repro.sim import Cluster
+
+CLIENTS = 32
+READ_NS = 1_000_000.0
+COMPUTE_NS = 200_000.0
+WRITE_NS = 500_000.0
+
+
+def thread_server(io_mode):
+    cluster = Cluster(1)
+    arena = IsomallocArena(cluster.platform.layout(), 1,
+                           slot_bytes=64 * 1024)
+    sched = CthScheduler(
+        cluster[0],
+        IsomallocStacks(cluster[0].space, cluster.platform, arena, 0,
+                        stack_bytes=8 * 1024),
+        io_mode=io_mode)
+    served = []
+
+    def handle_client(th, cid):
+        """The whole client conversation reads top-to-bottom."""
+        yield ("io", READ_NS)        # blocking read
+        th.charge(COMPUTE_NS)        # compute response
+        yield ("io", WRITE_NS)       # blocking write
+        served.append(cid)
+
+    for cid in range(CLIENTS):
+        sched.create(lambda th, cid=cid: handle_client(th, cid))
+    # Drain: scheduler rounds interleaved with IO-completion timers.
+    while len(served) < CLIENTS:
+        progressed = sched.run() > 0
+        progressed |= cluster.run() > 0
+        assert progressed, "server stalled"
+    return cluster[0].now, len(served)
+
+
+class ClientHandler(Chare):
+    """Event-driven version: the conversation is split across events."""
+
+    done = []
+
+    def start(self):
+        # Post the read; control RETURNS to the scheduler here, and the
+        # continuation lives in the next entry method — the inversion the
+        # paper contrasts with threads.
+        self.runtime.cluster.after(self.my_pe, READ_NS,
+                                   self.thisProxy[self.thisIndex].send,
+                                   "read_done")
+
+    def read_done(self):
+        self.charge(COMPUTE_NS)
+        self.runtime.cluster.after(self.my_pe, WRITE_NS,
+                                   self.thisProxy[self.thisIndex].send,
+                                   "write_done")
+
+    def write_done(self):
+        ClientHandler.done.append(self.thisIndex)
+
+
+def event_server():
+    ClientHandler.done = []
+    cluster = Cluster(1)
+    runtime = CharmRuntime(cluster)
+    handlers = runtime.create_array(ClientHandler, CLIENTS)
+    handlers.broadcast("start")
+    cluster.run()
+    return cluster[0].now, len(ClientHandler.done)
+
+
+def main():
+    t_naive, n1 = thread_server("naive")
+    t_smart, n2 = thread_server("intercept")
+    t_event, n3 = event_server()
+    assert n1 == n2 == n3 == CLIENTS
+
+    ideal = READ_NS + WRITE_NS + CLIENTS * COMPUTE_NS
+    print(f"{CLIENTS} clients, each: {READ_NS/1e6:.1f} ms read + "
+          f"{COMPUTE_NS/1e6:.1f} ms compute + {WRITE_NS/1e6:.1f} ms write\n")
+    print(f"{'server':>28} | {'total time':>12} | notes")
+    print("-" * 75)
+    print(f"{'threads, naive blocking':>28} | {t_naive/1e6:>9.2f} ms | "
+          f"every call stalls the whole process")
+    print(f"{'threads + interception':>28} | {t_smart/1e6:>9.2f} ms | "
+          f"I/O overlapped; code still reads top-to-bottom")
+    print(f"{'event-driven objects':>28} | {t_event/1e6:>9.2f} ms | "
+          f"same overlap; logic split across 3 entry methods")
+    print(f"{'(I/O-bound lower bound)':>28} | {ideal/1e6:>9.2f} ms |")
+    print(f"\nInterception wins {t_naive/t_smart:.1f}x over naive blocking — "
+          f"and matches the\nevent-driven server while keeping straight-line "
+          f"control flow (Section 2.4's trade-off).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — a reproduction of "Multiple Flows of Control in Migratable
+Parallel Programs" (Zheng, Lawlor, Kalé; ICPP 2006).
+
+The package rebuilds, inside a simulated machine, the systems the paper
+describes: migratable user-level threads with stack-copying / isomalloc /
+memory-aliasing stacks, minimal register-swap context switching, PUP
+serialization, swap-global GOT privatization, an event-driven object
+runtime with Structured Dagger, Adaptive MPI on migratable threads,
+measurement-based load balancing, and a BigSim-style parallel-machine
+simulator.
+
+Layering (see DESIGN.md):
+
+* :mod:`repro.vm` / :mod:`repro.sim` — the simulated hardware and OS
+  substrate (page frames, address spaces, processors, network, platforms);
+* :mod:`repro.core` — the paper's primary contribution (threads, stacks,
+  migration);
+* :mod:`repro.flows`, :mod:`repro.charm`, :mod:`repro.ampi`,
+  :mod:`repro.balance`, :mod:`repro.bigsim` — the comparison mechanisms
+  and application-level runtimes;
+* :mod:`repro.workloads`, :mod:`repro.bench` — evaluation workloads and
+  the per-table/per-figure benchmark harness.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

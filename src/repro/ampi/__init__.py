@@ -1,0 +1,42 @@
+"""Adaptive MPI: MPI ranks as migratable user-level threads (Section 4.1).
+
+AMPI "runs each MPI process in an AMPI thread" — a migratable user-level
+thread with an isomalloc stack and heap and privatized globals — so that
+many more ranks than processors can run, and ranks can migrate between
+processors for load balance (the Figure 12 experiment).
+
+Rank programs are generator functions receiving an :class:`AmpiContext`::
+
+    def main(mpi):
+        if mpi.rank == 0:
+            mpi.send(1, {"hello": "world"})
+        elif mpi.rank == 1:
+            msg = yield from mpi.recv(source=0)
+        total = yield from mpi.allreduce(mpi.rank, op="sum")
+        yield from mpi.barrier()
+        yield from mpi.migrate()          # MPI_Migrate: load-balance point
+
+    rt = AmpiRuntime(num_procs=4, num_ranks=16, main=main)
+    rt.run()
+
+Blocking calls are ``yield from`` expressions — the generator-based
+substitute for AMPI's thread-blocking receives (see DESIGN.md).
+"""
+
+from repro.ampi.datatypes import ANY_SOURCE, ANY_TAG, OPS, wire_size
+from repro.ampi.context import AmpiContext, AmpiMessage
+from repro.ampi.request import Request
+from repro.ampi.communicator import Communicator
+from repro.ampi.runtime import AmpiRuntime
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "OPS",
+    "wire_size",
+    "AmpiContext",
+    "AmpiMessage",
+    "Request",
+    "Communicator",
+    "AmpiRuntime",
+]

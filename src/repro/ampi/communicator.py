@@ -1,0 +1,238 @@
+"""Sub-communicators: MPI_Comm_split over AMPI ranks.
+
+A :class:`Communicator` is an ordered group of world ranks with its own
+rank numbering, tag namespace, and collective operations.  ``split`` is the
+standard MPI collective: ranks calling with the same ``color`` end up in
+one sub-communicator, ordered by ``key`` (ties by world rank).
+
+Collectives here are implemented over the context's point-to-point layer
+with tags carrying the communicator id, so traffic on different
+communicators never cross-matches — pinned down by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import AmpiError
+from repro.ampi.datatypes import ANY_SOURCE, ANY_TAG, apply_op
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ampi.context import AmpiContext
+
+__all__ = ["Communicator"]
+
+class Communicator:
+    """An ordered group of world ranks with its own collectives.
+
+    Attributes
+    ----------
+    members:
+        World ranks in this communicator, in local-rank order.
+    rank:
+        This process's local rank within the communicator.
+    """
+
+    def __init__(self, ctx: "AmpiContext", members: List[int],
+                 comm_id: int):
+        if ctx.rank not in members:
+            raise AmpiError(
+                f"world rank {ctx.rank} is not a member of this communicator")
+        self.ctx = ctx
+        self.members = list(members)
+        self.comm_id = comm_id
+        self.rank = self.members.index(ctx.rank)
+        self._seq = 0
+        self._splits = 0
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in this communicator."""
+        return len(self.members)
+
+    def world_rank(self, local: int) -> int:
+        """Translate a local rank to a world rank."""
+        if not 0 <= local < self.size:
+            raise AmpiError(f"bad local rank {local} (size {self.size})")
+        return self.members[local]
+
+    def _tag(self, kind: str, seq: int) -> Tuple:
+        return ("__comm", self.comm_id, kind, seq)
+
+    def _next(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # point-to-point in local ranks
+    # ------------------------------------------------------------------
+
+    def send(self, dest: int, data: Any, tag: Any = 0,
+             size_bytes: Optional[int] = None) -> None:
+        """Send to a *local* rank of this communicator."""
+        self.ctx.send(self.world_rank(dest), data,
+                      tag=("__comm", self.comm_id, "p2p", tag),
+                      size_bytes=size_bytes)
+
+    def recv(self, source: int = ANY_SOURCE, tag: Any = ANY_TAG,
+             ) -> Generator[Any, Any, Any]:
+        """Receive from a *local* rank of this communicator."""
+        world_src = (ANY_SOURCE if source == ANY_SOURCE
+                     else self.world_rank(source))
+        match_tag = (ANY_TAG if tag == ANY_TAG
+                     else ("__comm", self.comm_id, "p2p", tag))
+        if match_tag == ANY_TAG:
+            # Constrain wildcard receives to this communicator's namespace
+            # by polling for a namespaced match.
+            while True:
+                for world in (self.members if world_src == ANY_SOURCE
+                              else [world_src]):
+                    for m in list(self.ctx.runtime._queues[self.ctx.rank]):
+                        if (m.src == world and isinstance(m.tag, tuple)
+                                and len(m.tag) == 4
+                                and m.tag[:3] == ("__comm", self.comm_id,
+                                                  "p2p")):
+                            got = yield from self.ctx.recv(source=m.src,
+                                                           tag=m.tag)
+                            return got
+                yield "yield"
+        out = yield from self.ctx.recv(source=world_src, tag=match_tag)
+        return out
+
+    # ------------------------------------------------------------------
+    # collectives (local-rank semantics)
+    # ------------------------------------------------------------------
+
+    def barrier(self) -> Generator[Any, Any, None]:
+        """Barrier over this communicator's members only."""
+        seq = self._next()
+        root = self.members[0]
+        if self.ctx.rank == root:
+            for _ in range(self.size - 1):
+                yield from self.ctx.recv(tag=self._tag("bar", seq))
+            for m in self.members[1:]:
+                self.ctx.send(m, None, tag=self._tag("rel", seq))
+        else:
+            self.ctx.send(root, None, tag=self._tag("bar", seq))
+            yield from self.ctx.recv(source=root, tag=self._tag("rel", seq))
+
+    def bcast(self, data: Any, root: int = 0) -> Generator[Any, Any, Any]:
+        """Broadcast from local rank ``root``."""
+        seq = self._next()
+        root_world = self.world_rank(root)
+        if self.ctx.rank == root_world:
+            for m in self.members:
+                if m != root_world:
+                    self.ctx.send(m, data, tag=self._tag("bc", seq))
+            return data
+        out = yield from self.ctx.recv(source=root_world,
+                                       tag=self._tag("bc", seq))
+        return out
+
+    def reduce(self, value: Any, op: str = "sum", root: int = 0,
+               ) -> Generator[Any, Any, Any]:
+        """Reduce to local rank ``root``."""
+        seq = self._next()
+        root_world = self.world_rank(root)
+        if self.ctx.rank == root_world:
+            values: List[Tuple[int, Any]] = [(self.rank, value)]
+            for _ in range(self.size - 1):
+                msg = yield from self.ctx.recv_msg(tag=self._tag("red", seq))
+                values.append((self.members.index(msg.src), msg.data))
+            values.sort(key=lambda kv: kv[0])
+            return apply_op(op, [v for _, v in values])
+        self.ctx.send(root_world, value, tag=self._tag("red", seq))
+        return None
+
+    def allreduce(self, value: Any, op: str = "sum",
+                  ) -> Generator[Any, Any, Any]:
+        """Allreduce over this communicator."""
+        partial = yield from self.reduce(value, op=op, root=0)
+        out = yield from self.bcast(partial, root=0)
+        return out
+
+    def gather(self, value: Any, root: int = 0,
+               ) -> Generator[Any, Any, Optional[List[Any]]]:
+        """Gather to local rank ``root`` in local-rank order."""
+        seq = self._next()
+        root_world = self.world_rank(root)
+        if self.ctx.rank == root_world:
+            out: List[Any] = [None] * self.size
+            out[self.rank] = value
+            for _ in range(self.size - 1):
+                msg = yield from self.ctx.recv_msg(tag=self._tag("gat", seq))
+                out[self.members.index(msg.src)] = msg.data
+            return out
+        self.ctx.send(root_world, value, tag=self._tag("gat", seq))
+        return None
+
+    def allgather(self, value: Any) -> Generator[Any, Any, List[Any]]:
+        """Allgather over this communicator."""
+        gathered = yield from self.gather(value, root=0)
+        out = yield from self.bcast(gathered, root=0)
+        return out
+
+    def scatter(self, values: Optional[List[Any]], root: int = 0,
+                ) -> Generator[Any, Any, Any]:
+        """Scatter from local rank ``root``: one value per member."""
+        seq = self._next()
+        root_world = self.world_rank(root)
+        if self.ctx.rank == root_world:
+            if values is None or len(values) != self.size:
+                raise AmpiError(
+                    f"scatter needs exactly {self.size} values at root")
+            for i, m in enumerate(self.members):
+                if m != root_world:
+                    self.ctx.send(m, values[i], tag=self._tag("sca", seq))
+            return values[self.rank]
+        out = yield from self.ctx.recv(source=root_world,
+                                       tag=self._tag("sca", seq))
+        return out
+
+    def alltoall(self, values: List[Any]) -> Generator[Any, Any, List[Any]]:
+        """All-to-all within this communicator (local-rank indexed)."""
+        seq = self._next()
+        if len(values) != self.size:
+            raise AmpiError(f"alltoall needs exactly {self.size} values")
+        for i, m in enumerate(self.members):
+            if i != self.rank:
+                self.ctx.send(m, values[i],
+                              tag=self._tag(("a2a", self.rank), seq))
+        out: List[Any] = [None] * self.size
+        out[self.rank] = values[self.rank]
+        for i, m in enumerate(self.members):
+            if i != self.rank:
+                got = yield from self.ctx.recv(source=m,
+                                               tag=self._tag(("a2a", i), seq))
+                out[i] = got
+        return out
+
+    # ------------------------------------------------------------------
+    # splitting
+    # ------------------------------------------------------------------
+
+    def split(self, color: Any, key: Optional[int] = None,
+              ) -> Generator[Any, Any, Optional["Communicator"]]:
+        """MPI_Comm_split: partition members by color, order by key.
+
+        Every member must call this collectively.  ``color=None`` opts out
+        (MPI_UNDEFINED) and yields ``None``.  Returns the new communicator
+        for this rank's color group.
+        """
+        key = self.rank if key is None else key
+        triples = yield from self.allgather((color, key, self.ctx.rank))
+        if color is None:
+            return None
+        group = sorted((k, w) for (c, k, w) in triples
+                       if c == color)
+        members = [w for _, w in group]
+        # Deterministic id without negotiation: split is collective, so
+        # every member's per-parent split counter agrees; the group's first
+        # member separates colors.  Ids are tuples, which tags carry fine.
+        self._splits += 1
+        comm_id = (self.comm_id, "split", self._splits, members[0])
+        return Communicator(self.ctx, members, comm_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Communicator #{self.comm_id} rank {self.rank}/"
+                f"{self.size} members={self.members}>")

@@ -1,0 +1,350 @@
+"""The per-rank AMPI API object.
+
+Every blocking operation is a generator to be invoked with ``yield from``
+inside the rank's main generator; non-blocking operations (``send``,
+``iprobe``) are plain methods.  Collectives are built from point-to-point
+messages with internal tags, so their traffic pays latency and bandwidth on
+the simulated network like everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import AmpiError
+from repro.ampi.datatypes import ANY_SOURCE, ANY_TAG, apply_op, wire_size
+from repro.ampi.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ampi.runtime import AmpiRuntime
+
+__all__ = ["AmpiMessage", "AmpiContext"]
+
+
+@dataclass
+class AmpiMessage:
+    """One rank-to-rank message."""
+
+    src: int
+    dst: int
+    tag: Any
+    data: Any
+    size_bytes: int
+
+    def matches(self, source: int, tag: Any) -> bool:
+        """Whether this message satisfies a recv(source, tag) pattern."""
+        if source != ANY_SOURCE and self.src != source:
+            return False
+        if tag != ANY_TAG and self.tag != tag:
+            return False
+        return True
+
+
+class AmpiContext:
+    """The MPI world as seen by one rank."""
+
+    def __init__(self, runtime: "AmpiRuntime", rank: int):
+        self.runtime = runtime
+        self.rank = rank
+        self._coll_seq = 0
+        self._world: Optional["Communicator"] = None
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world (MPI_Comm_size)."""
+        return self.runtime.num_ranks
+
+    @property
+    def thread(self):
+        """The migratable user-level thread running this rank."""
+        return self.runtime.rank_thread[self.rank]
+
+    @property
+    def world(self) -> "Communicator":
+        """MPI_COMM_WORLD as a :class:`~repro.ampi.communicator.Communicator`.
+
+        The plain context methods (barrier, bcast, ...) already operate on
+        the world; this handle exists to call :meth:`Communicator.split`.
+        """
+        from repro.ampi.communicator import Communicator
+        if self._world is None:
+            self._world = Communicator(self, list(range(self.size)), 0)
+        return self._world
+
+    def comm_split(self, color: Any, key: Optional[int] = None):
+        """MPI_Comm_split on the world (collective).  ``yield from`` it."""
+        out = yield from self.world.split(color, key)
+        return out
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+
+    def send(self, dest: int, data: Any, tag: Any = 0,
+             size_bytes: Optional[int] = None) -> None:
+        """Buffered send: enqueue ``data`` for ``dest`` and return.
+
+        (MPI_Send with an eager protocol — the simulation has unbounded
+        buffering, so sends never block.)
+        """
+        if not 0 <= dest < self.size:
+            raise AmpiError(f"send to bad rank {dest} (size {self.size})")
+        size = wire_size(data) if size_bytes is None else size_bytes
+        self.runtime._send(self.rank, dest, data, tag, size)
+
+    def recv(self, source: int = ANY_SOURCE, tag: Any = ANY_TAG,
+             ) -> Generator[Any, Any, Any]:
+        """Blocking receive; suspends the rank's thread until a match.
+
+        Returns the message *data*; use :meth:`recv_msg` to also see the
+        source and tag.
+        """
+        msg = yield from self.recv_msg(source, tag)
+        return msg.data
+
+    def recv_msg(self, source: int = ANY_SOURCE, tag: Any = ANY_TAG,
+                 ) -> Generator[Any, Any, AmpiMessage]:
+        """Blocking receive returning the full :class:`AmpiMessage`."""
+        while True:
+            msg = self.runtime._match(self.rank, source, tag)
+            if msg is not None:
+                return msg
+            self.runtime._set_waiting(self.rank, source, tag)
+            yield "suspend"
+
+    # -- non-blocking operations ------------------------------------------
+
+    def isend(self, dest: int, data: Any, tag: Any = 0,
+              size_bytes: Optional[int] = None) -> Request:
+        """MPI_Isend: start a send; completes immediately (eager/buffered)."""
+        self.send(dest, data, tag, size_bytes)
+        return Request("send", self.rank)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: Any = ANY_TAG) -> Request:
+        """MPI_Irecv: post a receive; complete it with :meth:`wait`.
+
+        Posted receives match arriving messages before the unexpected
+        queue, in posting order.
+        """
+        req = Request("recv", self.rank, source, tag)
+        self.runtime._post_recv(req)
+        return req
+
+    def test(self, req: Request) -> bool:
+        """MPI_Test: non-blocking completion check."""
+        return req.done
+
+    def wait(self, req: Request) -> Generator[Any, Any, Any]:
+        """MPI_Wait: suspend until the request completes; returns its data."""
+        while not req.done:
+            self.runtime._set_wait_pred(self.rank, lambda: req.done)
+            yield "suspend"
+        return req.data
+
+    def waitall(self, reqs: List[Request]) -> Generator[Any, Any, List[Any]]:
+        """MPI_Waitall: suspend until every request completes."""
+        while not all(r.done for r in reqs):
+            self.runtime._set_wait_pred(
+                self.rank, lambda: all(r.done for r in reqs))
+            yield "suspend"
+        return [r.data for r in reqs]
+
+    def waitany(self, reqs: List[Request],
+                ) -> Generator[Any, Any, Tuple[int, Any]]:
+        """MPI_Waitany: suspend until one completes; returns (index, data)."""
+        if not reqs:
+            raise AmpiError("waitany over no requests")
+        while not any(r.done for r in reqs):
+            self.runtime._set_wait_pred(
+                self.rank, lambda: any(r.done for r in reqs))
+            yield "suspend"
+        for i, r in enumerate(reqs):
+            if r.done:
+                return i, r.data
+        raise AssertionError("unreachable")
+
+    def sendrecv(self, dest: int, data: Any, source: int = ANY_SOURCE,
+                 tag: Any = 0) -> Generator[Any, Any, Any]:
+        """Combined send + receive (MPI_Sendrecv)."""
+        self.send(dest, data, tag)
+        out = yield from self.recv(source, tag)
+        return out
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: Any = ANY_TAG) -> bool:
+        """Non-blocking check for a matching pending message."""
+        return self.runtime._peek(self.rank, source, tag)
+
+    # ------------------------------------------------------------------
+    # collectives (every rank must call them in the same order)
+    # ------------------------------------------------------------------
+
+    def _seq(self) -> int:
+        self._coll_seq += 1
+        return self._coll_seq
+
+    def barrier(self) -> Generator[Any, Any, None]:
+        """MPI_Barrier: binomial reduce-to-0 then binomial release.
+
+        2·log2(P) rounds instead of the linear gather a naive
+        implementation uses — the root never handles more than log2(P)
+        messages.
+        """
+        yield from self.reduce(0, op="sum", root=0)
+        yield from self.bcast(None, root=0)
+
+    def bcast(self, data: Any, root: int = 0) -> Generator[Any, Any, Any]:
+        """MPI_Bcast: binomial-tree broadcast from ``root``.
+
+        Round k: every rank that already has the value and whose
+        root-relative id is below 2^k forwards it 2^k ranks ahead —
+        log2(P) rounds, each rank sends at most log2(P) messages.
+        """
+        seq = self._seq()
+        size = self.size
+        me = (self.rank - root) % size
+        if me != 0:
+            parent_rel = me - (1 << (me.bit_length() - 1))
+            parent = (parent_rel + root) % size
+            data = yield from self.recv(source=parent, tag=("__bc", seq))
+        k = 1
+        while k < size:
+            if me < k and me + k < size:
+                self.send((me + k + root) % size, data, tag=("__bc", seq))
+            k <<= 1
+        return data
+
+    def reduce(self, value: Any, op: str = "sum", root: int = 0,
+               ) -> Generator[Any, Any, Any]:
+        """MPI_Reduce: binomial-tree combine toward ``root``.
+
+        Each rank combines its children's partials (in ascending child
+        order, so the fold order is deterministic) and forwards one
+        message to its parent — log2(P) rounds.
+        """
+        seq = self._seq()
+        size = self.size
+        me = (self.rank - root) % size
+        acc = value
+        k = 1
+        while k < size:
+            if me & k:
+                parent = ((me - k) + root) % size
+                self.send(parent, acc, tag=("__red", seq))
+                return None
+            if me + k < size:
+                child = ((me + k) + root) % size
+                partial = yield from self.recv(source=child,
+                                               tag=("__red", seq))
+                acc = apply_op(op, [acc, partial])
+            k <<= 1
+        return acc
+
+    def allreduce(self, value: Any, op: str = "sum",
+                  ) -> Generator[Any, Any, Any]:
+        """MPI_Allreduce: reduce to rank 0, then broadcast."""
+        partial = yield from self.reduce(value, op=op, root=0)
+        out = yield from self.bcast(partial, root=0)
+        return out
+
+    def gather(self, value: Any, root: int = 0,
+               ) -> Generator[Any, Any, Optional[List[Any]]]:
+        """MPI_Gather: root returns the rank-ordered list, others None."""
+        seq = self._seq()
+        if self.rank == root:
+            out: List[Any] = [None] * self.size
+            out[self.rank] = value
+            for _ in range(self.size - 1):
+                msg = yield from self.recv_msg(tag=("__gat", seq))
+                out[msg.src] = msg.data
+            return out
+        self.send(root, value, tag=("__gat", seq))
+        return None
+
+    def allgather(self, value: Any) -> Generator[Any, Any, List[Any]]:
+        """MPI_Allgather: everyone gets the rank-ordered list."""
+        gathered = yield from self.gather(value, root=0)
+        out = yield from self.bcast(gathered, root=0)
+        return out
+
+    def scatter(self, values: Optional[List[Any]], root: int = 0,
+                ) -> Generator[Any, Any, Any]:
+        """MPI_Scatter: root distributes one value per rank."""
+        seq = self._seq()
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise AmpiError(
+                    f"scatter needs exactly {self.size} values at root")
+            for r in range(self.size):
+                if r != root:
+                    self.send(r, values[r], tag=("__sca", seq))
+            return values[root]
+        out = yield from self.recv(source=root, tag=("__sca", seq))
+        return out
+
+    def alltoall(self, values: List[Any]) -> Generator[Any, Any, List[Any]]:
+        """MPI_Alltoall: element j of my list goes to rank j."""
+        seq = self._seq()
+        if len(values) != self.size:
+            raise AmpiError(f"alltoall needs exactly {self.size} values")
+        for r in range(self.size):
+            if r != self.rank:
+                self.send(r, values[r], tag=("__a2a", seq))
+        out: List[Any] = [None] * self.size
+        out[self.rank] = values[self.rank]
+        for _ in range(self.size - 1):
+            msg = yield from self.recv_msg(tag=("__a2a", seq))
+            out[msg.src] = msg.data
+        return out
+
+    # ------------------------------------------------------------------
+    # scheduling, time, and migration
+    # ------------------------------------------------------------------
+
+    def yield_(self) -> Generator[Any, Any, None]:
+        """MPI_Yield: give other ranks on this processor a turn."""
+        yield "yield"
+
+    def charge(self, ns: float) -> None:
+        """Account ``ns`` of computation (feeds the load balancer too).
+
+        The load database records the *measured* (wall) virtual time, not
+        the nominal work — on a processor slowed by external load the same
+        work measures longer, which is exactly what lets the balancer shed
+        work from busy workstations (paper reference [10]).
+        """
+        proc = self.thread.scheduler.processor
+        before = proc.now
+        self.thread.charge(ns)
+        self.runtime.db.record(self.rank, proc.now - before)
+
+    def wtime(self) -> float:
+        """MPI_Wtime: this rank's processor-local virtual time (ns)."""
+        return self.thread.scheduler.processor.now
+
+    @property
+    def my_pe(self) -> int:
+        """The processor this rank currently runs on."""
+        return self.thread.scheduler.processor.id
+
+    def checkpoint(self) -> Generator[Any, Any, None]:
+        """Coordinated checkpoint barrier (reference [42]'s protocol).
+
+        All ranks suspend; when the last arrives, every rank's full thread
+        image is written to the simulated disk, then all resume.  After a
+        failure, :meth:`AmpiRuntime.recover_rank` rebuilds lost ranks from
+        these images.
+        """
+        self.runtime._at_checkpoint_point(self.rank)
+        yield "suspend"
+
+    def migrate(self) -> Generator[Any, Any, None]:
+        """MPI_Migrate: collective load-balancing point.
+
+        All ranks suspend here; when the last one arrives, the runtime's
+        strategy decides a new placement and the thread migrator moves
+        ranks accordingly — "transparent thread migration without having
+        to change any of the benchmark code" (Section 4.5).
+        """
+        self.runtime._at_migrate_point(self.rank)
+        yield "suspend"

@@ -1,0 +1,64 @@
+"""AMPI wire-size estimation and reduction operators."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from repro.errors import AmpiError
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "OPS", "wire_size", "apply_op"]
+
+#: Wildcard source for :meth:`AmpiContext.recv`.
+ANY_SOURCE = -1
+#: Wildcard tag for :meth:`AmpiContext.recv`.
+ANY_TAG = -1
+
+#: Built-in reduction operators (MPI_SUM and friends).
+OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
+    "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b),
+    "land": lambda a, b: bool(a) and bool(b),
+    "lor": lambda a, b: bool(a) or bool(b),
+}
+
+
+def apply_op(op: str, values: list) -> Any:
+    """Fold ``values`` (ordered by source rank) with operator ``op``."""
+    if op not in OPS:
+        raise AmpiError(f"unknown reduction op {op!r}; known: {sorted(OPS)}")
+    if not values:
+        raise AmpiError("reduction over no values")
+    fn = OPS[op]
+    acc = values[0]
+    for v in values[1:]:
+        acc = fn(acc, v)
+    return acc
+
+
+def wire_size(data: Any) -> int:
+    """Estimated bytes of ``data`` on the simulated wire.
+
+    NumPy arrays count their buffer exactly; containers are summed
+    recursively; scalars cost one header's worth.  This drives bandwidth
+    accounting only — payloads travel by reference inside the host process.
+    """
+    if data is None:
+        return 16
+    if isinstance(data, np.ndarray):
+        return int(data.nbytes) + 64
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return len(data) + 32
+    if isinstance(data, str):
+        return len(data.encode("utf-8")) + 32
+    if isinstance(data, (int, float, complex, bool)):
+        return 32
+    if isinstance(data, (list, tuple, set)):
+        return 16 + sum(wire_size(x) for x in data)
+    if isinstance(data, dict):
+        return 16 + sum(wire_size(k) + wire_size(v) for k, v in data.items())
+    # Arbitrary objects: a conservative flat estimate.
+    return 256

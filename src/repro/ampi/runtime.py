@@ -1,0 +1,426 @@
+"""The AMPI runtime: virtual ranks on migratable threads over the cluster."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import AmpiError
+from repro.ampi.context import AmpiContext, AmpiMessage
+from repro.ampi.datatypes import ANY_SOURCE, ANY_TAG
+from repro.balance.instrument import LBDatabase
+from repro.balance.manager import LBManager, RebalanceReport
+from repro.balance.strategies import GreedyLB, Strategy
+from repro.core.checkpoint import Checkpointer
+from repro.core.isomalloc import IsomallocArena
+from repro.core.scheduler import CthScheduler
+from repro.core.migration import ThreadMigrator
+from repro.core.stacks import (IsomallocStacks, MemoryAliasStacks,
+                               StackCopyStacks)
+from repro.core.swapglobal import GlobalRegistry
+from repro.core.thread import ThreadState, UThread
+from repro.sim.cluster import Cluster
+from repro.sim.dispatch import TagDispatcher
+from repro.sim.network import Message, Network
+
+__all__ = ["AmpiRuntime"]
+
+_TAG = "ampi"
+
+#: Signature of a rank program: a generator function over the context.
+RankMain = Callable[[AmpiContext], Generator]
+
+
+class AmpiRuntime:
+    """N virtual MPI ranks on P simulated processors.
+
+    Parameters
+    ----------
+    num_procs:
+        Physical (simulated) processors.  May also be an existing
+        :class:`~repro.sim.cluster.Cluster`.
+    num_ranks:
+        Virtual processors — AMPI wants this "much larger than the actual
+        number of processors" for load balancing to work (Section 4.5).
+    main:
+        The rank program (generator function taking an
+        :class:`AmpiContext`).
+    technique:
+        Stack technique for the rank threads (isomalloc by default — the
+        configuration the paper's Figure 12 runs use).
+    strategy:
+        Load-balancing strategy used at ``MPI_Migrate`` points
+        (default GreedyLB; pass :class:`~repro.balance.strategies.NullLB`
+        for the "without LB" arm).
+    """
+
+    def __init__(self, num_procs, num_ranks: int, main: RankMain, *,
+                 platform: str = "linux_x86",
+                 network: Optional[Network] = None,
+                 technique: str = "isomalloc",
+                 stack_bytes: int = 32 * 1024,
+                 slot_bytes: int = 512 * 1024,
+                 emulate_swap: bool = False,
+                 strategy: Optional[Strategy] = None,
+                 placement: Optional[Callable[[int], int]] = None,
+                 globals_decl: Tuple[Tuple[str, int], ...] = ()):
+        if isinstance(num_procs, Cluster):
+            self.cluster = num_procs
+        else:
+            self.cluster = Cluster(num_procs, platform=platform,
+                                   network=network)
+        npes = len(self.cluster)
+        if num_ranks <= 0:
+            raise AmpiError("need at least one rank")
+        self.num_ranks = num_ranks
+        self.main = main
+        layout = self.cluster.platform.layout()
+        self.arena = IsomallocArena(layout, npes, slot_bytes=slot_bytes)
+        self.schedulers: List[CthScheduler] = []
+        for pe in range(npes):
+            proc = self.cluster[pe]
+            if technique == "isomalloc":
+                mgr = IsomallocStacks(proc.space, proc.profile, self.arena,
+                                      pe, stack_bytes=stack_bytes)
+            elif technique == "stack_copy":
+                mgr = StackCopyStacks(proc.space, proc.profile,
+                                      stack_bytes=stack_bytes)
+            elif technique == "memory_alias":
+                mgr = MemoryAliasStacks(proc.space, proc.profile,
+                                        stack_bytes=stack_bytes)
+            else:
+                raise AmpiError(f"unknown stack technique {technique!r}")
+            registry = None
+            if globals_decl:
+                registry = GlobalRegistry(proc.space)
+                for name, size in globals_decl:
+                    registry.declare(name, size)
+                registry.build()
+            self.schedulers.append(
+                CthScheduler(proc, mgr, globals_registry=registry,
+                             emulate_swap=emulate_swap))
+        self.migrator = ThreadMigrator(self.cluster, self.schedulers)
+        self.migrator.on_arrival = self._thread_arrived
+        self.db = LBDatabase(npes)
+        self.strategy = strategy or GreedyLB()
+        self.lb = LBManager(self.db, self.strategy, self._lb_migrate)
+        # rank state
+        self.rank_thread: List[UThread] = []
+        self.rank_ctx: List[AmpiContext] = []
+        self._queues: List[Deque[AmpiMessage]] = [deque()
+                                                  for _ in range(num_ranks)]
+        self._waiting: Dict[int, Tuple[int, Any]] = {}
+        #: Posted (not yet matched) irecv requests, per rank, in post order.
+        self._posted: List[List] = [[] for _ in range(num_ranks)]
+        #: Generalized wait predicates for request-based waits, per rank.
+        self._wait_pred: Dict[int, Any] = {}
+        self._finished = 0
+        self._at_migrate: set[int] = set()
+        self._at_checkpoint: set[int] = set()
+        #: rank -> key of its most recent coordinated checkpoint.
+        self.last_checkpoint: Dict[int, str] = {}
+        #: Hook called after a coordinated checkpoint is written, before
+        #: ranks resume — the window in which a simulated failure can be
+        #: recovered from the fresh checkpoints (tests inject faults here).
+        self.on_checkpoint: Optional[Callable[[], None]] = None
+        self.checkpointer = Checkpointer(self.migrator)
+        self._lb_moves: List[Tuple[int, int]] = []
+        self.reports: List[RebalanceReport] = []
+        for proc in self.cluster.processors:
+            TagDispatcher.of(proc).register(_TAG, self._on_message)
+        # spawn ranks; default placement is round-robin over processors
+        for rank in range(num_ranks):
+            pe = placement(rank) if placement else rank % npes
+            if not 0 <= pe < npes:
+                raise AmpiError(f"placement({rank}) = {pe} out of range")
+            ctx = AmpiContext(self, rank)
+            thread = self.schedulers[pe].create(
+                self._make_body(ctx), name=f"rank{rank}",
+                privatize_globals=bool(globals_decl))
+            self.rank_thread.append(thread)
+            self.rank_ctx.append(ctx)
+            self.db.register(rank, pe)
+
+    # ------------------------------------------------------------------
+    # rank bodies
+    # ------------------------------------------------------------------
+
+    def _make_body(self, ctx: AmpiContext):
+        def body(th):
+            try:
+                yield from self.main(ctx)
+            finally:
+                self._finished += 1
+                self.db.unregister(ctx.rank)
+        return body
+
+    # ------------------------------------------------------------------
+    # rank-to-rank messaging
+    # ------------------------------------------------------------------
+
+    def rank_pe(self, rank: int) -> int:
+        """Current processor of a rank."""
+        return self.rank_thread[rank].scheduler.processor.id
+
+    def _send(self, src_rank: int, dst_rank: int, data: Any, tag: Any,
+              size: int) -> None:
+        msg = AmpiMessage(src=src_rank, dst=dst_rank, tag=tag, data=data,
+                          size_bytes=size)
+        src_pe = self.rank_pe(src_rank)
+        dst_pe = self.rank_pe(dst_rank)
+        if src_pe == dst_pe:
+            # Same-processor ranks communicate through the scheduler —
+            # "fast local message passing via the thread scheduler"
+            # (Section 3.4) — no network traffic.
+            self.cluster[src_pe].charge(
+                self.cluster.platform.event_dispatch_ns)
+            self._enqueue(msg)
+        else:
+            self.cluster.send(src_pe, dst_pe, msg, size_bytes=size, tag=_TAG)
+
+    def _on_message(self, cluster_msg: Message) -> None:
+        msg: AmpiMessage = cluster_msg.payload
+        here = cluster_msg.dst
+        current = self.rank_pe(msg.dst)
+        if current != here:
+            # The rank migrated while the message was in flight: forward.
+            self.cluster.send(here, current, msg,
+                              size_bytes=msg.size_bytes, tag=_TAG)
+            return
+        self._enqueue(msg)
+
+    def _enqueue(self, msg: AmpiMessage) -> None:
+        self.db.record_comm(msg.src, msg.dst, msg.size_bytes)
+        # Posted receives match before the unexpected-message queue
+        # (standard MPI matching semantics).
+        for i, req in enumerate(self._posted[msg.dst]):
+            if msg.matches(req.source, req.tag):
+                del self._posted[msg.dst][i]
+                req._complete(msg)
+                self._wake_if_satisfied(msg.dst)
+                return
+        self._queues[msg.dst].append(msg)
+        waiting = self._waiting.get(msg.dst)
+        if waiting is not None and msg.matches(*waiting):
+            del self._waiting[msg.dst]
+            thread = self.rank_thread[msg.dst]
+            if thread.state is ThreadState.SUSPENDED:
+                thread.scheduler.awaken(thread)
+
+    def _post_recv(self, req) -> None:
+        """Post an irecv: match the unexpected queue first, else park it."""
+        msg = self._match(req.rank, req.source, req.tag)
+        if msg is not None:
+            req._complete(msg)
+        else:
+            self._posted[req.rank].append(req)
+
+    def _set_wait_pred(self, rank: int, pred) -> None:
+        """Suspend-side of MPI_Wait*: resume when ``pred()`` turns true."""
+        self._wait_pred[rank] = pred
+
+    def _wake_if_satisfied(self, rank: int) -> None:
+        pred = self._wait_pred.get(rank)
+        if pred is not None and pred():
+            del self._wait_pred[rank]
+            thread = self.rank_thread[rank]
+            if thread.state is ThreadState.SUSPENDED:
+                thread.scheduler.awaken(thread)
+
+    def _match(self, rank: int, source: int, tag: Any,
+               ) -> Optional[AmpiMessage]:
+        q = self._queues[rank]
+        for i, msg in enumerate(q):
+            if msg.matches(source, tag):
+                del q[i]
+                return msg
+        return None
+
+    def _peek(self, rank: int, source: int, tag: Any) -> bool:
+        return any(m.matches(source, tag) for m in self._queues[rank])
+
+    def _set_waiting(self, rank: int, source: int, tag: Any) -> None:
+        self._waiting[rank] = (source, tag)
+
+    # ------------------------------------------------------------------
+    # MPI_Migrate / load balancing
+    # ------------------------------------------------------------------
+
+    def _at_migrate_point(self, rank: int) -> None:
+        self._at_migrate.add(rank)
+
+    def _at_checkpoint_point(self, rank: int) -> None:
+        self._at_checkpoint.add(rank)
+
+    def _run_checkpoint(self) -> None:
+        """Coordinated checkpoint: every live rank is suspended at the
+        barrier; write all images to the simulated disk, fire the hook,
+        then resume everyone (reference [42]'s blocking coordinated
+        protocol)."""
+        ranks = sorted(self._at_checkpoint)
+        self._at_checkpoint.clear()
+        for rank in ranks:
+            self.last_checkpoint[rank] = self.checkpointer.checkpoint(
+                self.rank_thread[rank], key=f"ampi-r{rank}-"
+                f"e{self.checkpointer.checkpoints_taken}")
+        if self.on_checkpoint is not None:
+            self.on_checkpoint()
+        for rank in ranks:
+            thread = self.rank_thread[rank]
+            if thread.state is ThreadState.SUSPENDED:
+                thread.scheduler.awaken(thread)
+
+    def recover_rank(self, rank: int, dst_pe: int) -> None:
+        """Rebuild a failed rank from its last coordinated checkpoint.
+
+        Valid while the rank has not run since that checkpoint (the rank
+        was lost at or right after the barrier) — the emulation constraint
+        documented in :mod:`repro.core.checkpoint`.
+        """
+        key = self.last_checkpoint.get(rank)
+        if key is None:
+            raise AmpiError(f"rank {rank} has no checkpoint to recover from")
+        thread = self.checkpointer.restore(key, dst_pe)
+        thread.scheduler.awaken(thread)
+        self.db.moved(rank, dst_pe)
+
+    def _lb_migrate(self, rank: int, dst_pe: int) -> None:
+        self._lb_moves.append((rank, dst_pe))
+
+    def _thread_arrived(self, thread: UThread) -> None:
+        pass  # placement bookkeeping reads thread.scheduler directly
+
+    def _run_rebalance(self) -> None:
+        ranks = sorted(self._at_migrate)
+        self._at_migrate.clear()
+        self._lb_moves.clear()
+        for pe, proc in enumerate(self.cluster.processors):
+            self.db.set_pe_speed(pe, max(1e-6, 1.0 - proc.background_load))
+        report = self.lb.rebalance()          # fills _lb_moves
+        for rank, dst in self._lb_moves:
+            self.migrator.migrate(self.rank_thread[rank], dst)
+        self.cluster.run()                    # deliver the thread images
+        self.reports.append(report)
+        for rank in ranks:
+            thread = self.rank_thread[rank]
+            if thread.state is ThreadState.SUSPENDED:
+                thread.scheduler.awaken(thread)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Whether every rank has finished."""
+        return self._finished == self.num_ranks
+
+    def run(self, max_rounds: int = 10_000_000) -> None:
+        """Drive schedulers and the network until every rank finishes.
+
+        Raises
+        ------
+        AmpiError
+            On deadlock (no rank runnable, no message in flight) with a
+            description of what each live rank is waiting for.
+        """
+        for _ in range(max_rounds):
+            if self.done:
+                return
+            progressed = False
+            for sched in self.schedulers:
+                if sched.ready:
+                    sched.run()
+                    progressed = True
+            if not self.cluster.queue.empty:
+                self.cluster.run()
+                progressed = True
+            if (self._at_migrate
+                    and len(self._at_migrate) == self.num_ranks - self._finished):
+                self._run_rebalance()
+                progressed = True
+            if (self._at_checkpoint
+                    and len(self._at_checkpoint) == self.num_ranks - self._finished):
+                self._run_checkpoint()
+                progressed = True
+            if not progressed:
+                self._raise_deadlock()
+        raise AmpiError(f"run() exceeded {max_rounds} scheduling rounds")
+
+    def _raise_deadlock(self) -> None:
+        lines = []
+        for rank, (source, tag) in sorted(self._waiting.items()):
+            src = "ANY" if source == ANY_SOURCE else source
+            tg = "ANY" if tag == ANY_TAG else tag
+            lines.append(f"rank {rank} waiting for recv(source={src}, "
+                         f"tag={tg})")
+        for rank in sorted(self._wait_pred):
+            pending = [f"{r}" for r in self._posted[rank]]
+            lines.append(f"rank {rank} waiting on requests "
+                         f"(posted: {pending or 'completed-pred pending'})")
+        for rank in sorted(self._at_migrate):
+            lines.append(f"rank {rank} at MPI_Migrate barrier")
+        raise AmpiError("AMPI deadlock: no runnable rank and no message in "
+                        "flight\n" + "\n".join(lines))
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def makespan_ns(self) -> float:
+        """Completion time: the latest processor clock."""
+        return self.cluster.makespan
+
+    def pe_of_ranks(self) -> List[int]:
+        """Current processor of each rank (post-run placement)."""
+        return [self.rank_pe(r) for r in range(self.num_ranks)]
+
+    def rank_profile(self) -> List[tuple]:
+        """Per-rank profile rows: (rank, pe, work_ms, switches, migrations).
+
+        The observability counterpart of the load database: what each
+        virtual processor actually did, for post-run analysis and the
+        examples' reports.
+        """
+        rows = []
+        for r in range(self.num_ranks):
+            t = self.rank_thread[r]
+            rows.append((r, self.rank_pe(r), t.work_ns / 1e6, t.switches,
+                         t.migrations))
+        return rows
+
+    def summary(self) -> str:
+        """Human-readable run report: time, traffic, migrations, balance.
+
+        Intended for examples and interactive use, after :meth:`run`.
+        """
+        lines = [
+            f"AMPI run: {self.num_ranks} ranks on {len(self.cluster)} "
+            f"processors ({self.cluster.platform.name})",
+            f"  virtual makespan : {self.makespan_ns / 1e6:.3f} ms",
+            f"  finished ranks   : {self._finished}/{self.num_ranks}",
+        ]
+        sent = sum(p.messages_sent for p in self.cluster.processors)
+        nbytes = sum(p.bytes_sent for p in self.cluster.processors)
+        lines.append(f"  network          : {sent} messages, "
+                     f"{nbytes / 1024:.1f} KiB")
+        switches = sum(s.context_switches for s in self.schedulers)
+        lines.append(f"  context switches : {switches}")
+        if self.migrator.migrations_completed:
+            lines.append(
+                f"  migrations       : {self.migrator.migrations_completed} "
+                f"({self.migrator.bytes_shipped / 1024:.1f} KiB shipped)")
+        for r in self.reports:
+            lines.append(f"  {r}")
+        if self.checkpointer.checkpoints_taken:
+            lines.append(
+                f"  checkpoints      : {self.checkpointer.checkpoints_taken} "
+                f"({self.checkpointer.bytes_written / 1024:.1f} KiB on disk)")
+        per_pe = [0.0] * len(self.cluster)
+        for p in self.cluster.processors:
+            per_pe[p.id] = p.busy_ns
+        busiest = max(per_pe)
+        if busiest > 0:
+            avg = sum(per_pe) / len(per_pe)
+            lines.append(f"  processor load   : max/avg = "
+                         f"{busiest / avg:.2f}" if avg else "")
+        return "\n".join(lines)

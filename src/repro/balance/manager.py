@@ -1,0 +1,78 @@
+"""The LB manager: turn a strategy's placement into actual migrations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.balance.instrument import LBDatabase
+from repro.balance.strategies import Strategy
+
+__all__ = ["LBManager", "RebalanceReport"]
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one rebalance did."""
+
+    strategy: str
+    epoch: int
+    objects: int
+    migrations: int
+    imbalance_before: float
+    imbalance_after: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"[{self.strategy} epoch {self.epoch}] {self.objects} objs, "
+                f"{self.migrations} migrations, max/avg "
+                f"{self.imbalance_before:.2f} -> {self.imbalance_after:.2f}")
+
+
+class LBManager:
+    """Runs a strategy against the database and issues migrations.
+
+    ``migrate_fn(obj, dst_pe)`` performs the actual move (the AMPI runtime
+    passes its thread migrator; tests can pass a recorder).
+    """
+
+    def __init__(self, db: LBDatabase, strategy: Strategy,
+                 migrate_fn: Callable[[Hashable, int], None]):
+        self.db = db
+        self.strategy = strategy
+        self.migrate_fn = migrate_fn
+        self.reports: list[RebalanceReport] = []
+
+    def rebalance(self) -> RebalanceReport:
+        """Measure, decide, migrate, and open a new measurement window."""
+        loads = self.db.intrinsic_loads()
+        current = self.db.placement()
+        before = self.db.imbalance()
+        feed = getattr(self.strategy, "set_comm_graph", None)
+        if feed is not None:
+            feed(self.db.comm_graph())
+        feed_speeds = getattr(self.strategy, "set_pe_speeds", None)
+        if feed_speeds is not None:
+            feed_speeds(self.db.pe_speeds())
+        new = self.strategy.map_objects(loads, current, self.db.npes)
+        missing = set(loads) - set(new)
+        if missing:
+            raise ValueError(
+                f"{self.strategy.name} dropped objects: {sorted(map(str, missing))}")
+        moves = 0
+        for obj, dst in sorted(new.items(), key=lambda kv: str(kv[0])):
+            if current.get(obj) != dst:
+                self.migrate_fn(obj, dst)
+                self.db.moved(obj, dst)
+                moves += 1
+        after = self.db.imbalance()
+        report = RebalanceReport(
+            strategy=self.strategy.name,
+            epoch=self.db.epoch,
+            objects=len(loads),
+            migrations=moves,
+            imbalance_before=before,
+            imbalance_after=after,
+        )
+        self.reports.append(report)
+        self.db.reset_loads()
+        return report

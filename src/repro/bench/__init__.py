@@ -1,0 +1,27 @@
+"""Benchmark harness: builders and renderers for every table and figure.
+
+Each paper experiment has one builder here returning plain data (series or
+table rows) plus a text renderer; the pytest-benchmark targets under
+``benchmarks/`` call these, print the paper-style output, assert the shape
+criteria from DESIGN.md Section 4, and benchmark the underlying primitive.
+"""
+
+from repro.bench.report import render_series, render_table, save_report
+from repro.bench.figures import (FIGURE_PLATFORMS, context_switch_series,
+                                 stack_size_series, bigsim_series,
+                                 btmz_series, minimal_swap_rows)
+from repro.bench.tables import table1_rows, table2_rows
+
+__all__ = [
+    "render_series",
+    "render_table",
+    "save_report",
+    "FIGURE_PLATFORMS",
+    "context_switch_series",
+    "stack_size_series",
+    "bigsim_series",
+    "btmz_series",
+    "minimal_swap_rows",
+    "table1_rows",
+    "table2_rows",
+]

@@ -1,0 +1,138 @@
+"""Regenerate every paper table and figure from the command line.
+
+Usage::
+
+    python -m repro.bench                 # everything
+    python -m repro.bench fig9 table2     # just some experiments
+    REPRO_FULL=1 python -m repro.bench fig11   # paper-scale Figure 11
+
+Reports are printed and saved under ``results/``.  This is the same
+machinery the pytest-benchmark targets drive; the CLI exists so downstream
+users can regenerate the evaluation without the test harness.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.figures import (FIGURE_PLATFORMS, bigsim_series,
+                                 btmz_series, context_switch_series,
+                                 minimal_swap_rows, stack_size_series)
+from repro.bench.report import render_series, render_table, save_report
+from repro.bench.tables import (TABLE1_COLUMNS, TABLE2_COLUMNS, table1_rows,
+                                table2_rows)
+
+
+def _emit(name: str, text: str) -> None:
+    print("\n" + text)
+    print(f"[saved {save_report(name, text)}]")
+
+
+def run_table1() -> None:
+    """Table 1: portability matrix."""
+    headers = ["Thread"] + [n for n, _ in TABLE1_COLUMNS]
+    _emit("table1_portability.txt",
+          render_table(headers, table1_rows(),
+                       "Table 1: portability of migratable thread "
+                       "implementations"))
+
+
+def run_table2() -> None:
+    """Table 2: practical flow limits."""
+    headers = (["Flow of control", "Limiting Factor"]
+               + [n for n, _ in TABLE2_COLUMNS])
+    _emit("table2_limits.txt",
+          render_table(headers, table2_rows(),
+                       "Table 2: approximate practical limits"))
+
+
+def run_context_figure(fig_no: int) -> None:
+    """One of Figures 4-8."""
+    platform = FIGURE_PLATFORMS[fig_no]
+    xs, series = context_switch_series(platform)
+    _emit(f"fig{fig_no}_{platform}.txt",
+          render_series("n_flows", xs, series,
+                        f"Figure {fig_no}: context switch time (us) "
+                        f"vs number of flows — {platform}"))
+
+
+def run_fig9() -> None:
+    """Figure 9: stack-size sweep."""
+    sizes, series = stack_size_series()
+    labels = [f"{s // 1024}KB" if s < 1024 * 1024
+              else f"{s // (1024 * 1024)}MB" for s in sizes]
+    _emit("fig9_stacksize.txt",
+          render_series("stack", labels, series,
+                        "Figure 9: context switch time (us) vs stack size"))
+
+
+def run_fig10() -> None:
+    """Figure 10: minimal swap routines."""
+    _emit("fig10_minswap.txt",
+          render_table(["routine", "instructions", "memory ops",
+                        "modeled cycles", "modeled ns @2.2GHz"],
+                       minimal_swap_rows(),
+                       "Figure 10: minimal context switching routines"))
+
+
+def run_fig11() -> None:
+    """Figure 11: BigSim MD scaling."""
+    procs, series, targets = bigsim_series()
+    _emit("fig11_bigsim.txt",
+          render_series("host procs", procs, series,
+                        f"Figure 11: simulation time per MD step (ms), "
+                        f"{targets} target processors"))
+
+
+def run_fig12() -> None:
+    """Figure 12: BT-MZ with/without LB."""
+    rows = [[label,
+             f"{no.makespan_ns / 1e6:.1f}",
+             f"{lb.makespan_ns / 1e6:.1f}",
+             f"{no.makespan_ns / lb.makespan_ns:.2f}x",
+             lb.migrations]
+            for label, no, lb in btmz_series()]
+    _emit("fig12_btmz.txt",
+          render_table(["config", "no LB (ms)", "with LB (ms)", "speedup",
+                        "migrations"], rows,
+                       "Figure 12: BT-MZ with vs without load balancing"))
+
+
+EXPERIMENTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "fig4": lambda: run_context_figure(4),
+    "fig5": lambda: run_context_figure(5),
+    "fig6": lambda: run_context_figure(6),
+    "fig7": lambda: run_context_figure(7),
+    "fig8": lambda: run_context_figure(8),
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+}
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point; returns a process exit code."""
+    wanted = argv or list(EXPERIMENTS)
+    unknown = [w for w in wanted if w not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}")
+        print(f"known: {', '.join(EXPERIMENTS)}")
+        return 2
+    t0 = time.time()
+    for name in wanted:
+        EXPERIMENTS[name]()
+    print(f"\n{len(wanted)} experiment(s) in {time.time() - t0:.1f}s")
+    return 0
+
+
+def console_main() -> None:
+    """setuptools console-script entry point (``repro-bench``)."""
+    raise SystemExit(main(sys.argv[1:]))
+
+
+if __name__ == "__main__":
+    console_main()

@@ -1,0 +1,23 @@
+"""BigSim: simulating a huge target machine with user-level threads (§4.4).
+
+BigSim predicts the performance of applications on machines far larger than
+the host: each *target processor* is represented by one user-level thread on
+a *simulating processor*, "one physical processor [simulating] hundreds or
+even thousands of processors of the simulated machine".  Figure 11 runs
+200,000 target processors (50,000 threads per host processor at p = 4) —
+feasible only with user-level threads, per Table 2's limits.
+
+Pleasingly self-similar: our host cluster is itself simulated, so the
+reproduction is a simulator running inside a simulator, each level with its
+own clock — target time is predicted with per-thread virtual clocks and
+timestamped messages, while host time accrues on the simulated host
+processors and gives the Figure 11 y-axis (execution time per simulated
+timestep versus host processors).
+"""
+
+from repro.bigsim.target import TargetMachine
+from repro.bigsim.simulator import BigSimEngine, BigSimResult
+from repro.bigsim.trace import TraceEvent, TraceLog, replay
+
+__all__ = ["TargetMachine", "BigSimEngine", "BigSimResult",
+           "TraceEvent", "TraceLog", "replay"]

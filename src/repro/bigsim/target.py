@@ -1,0 +1,36 @@
+"""Target-machine description for BigSim runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["TargetMachine"]
+
+
+@dataclass(frozen=True)
+class TargetMachine:
+    """The machine being predicted (a Blue Gene-like torus by default).
+
+    Attributes
+    ----------
+    dims:
+        Torus dimensions; the number of target processors is their product.
+    network_latency_ns / network_bytes_per_ns:
+        The *target* interconnect model used for target-time prediction
+        (distinct from the host cluster's network).
+    """
+
+    dims: Tuple[int, int, int] = (10, 10, 20)
+    network_latency_ns: float = 3_000.0          # BG/L-torus class
+    network_bytes_per_ns: float = 0.175          # ~175 MB/s per link
+
+    @property
+    def num_procs(self) -> int:
+        """Total target processors."""
+        x, y, z = self.dims
+        return x * y * z
+
+    def message_ns(self, size_bytes: int) -> float:
+        """Target-network transfer time for one message."""
+        return self.network_latency_ns + size_bytes / self.network_bytes_per_ns

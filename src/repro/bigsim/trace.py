@@ -1,0 +1,111 @@
+"""BigSim event logs and trace-driven re-prediction.
+
+The real BigSim runs in two phases: an *emulation* executes the application
+once and writes per-target-processor event logs; a *trace-driven
+simulation* then replays those logs under different target-machine
+parameters (network latency, bandwidth, CPU scaling) without re-running the
+application — that is how one emulation run predicts many candidate
+machines (paper references [40, 43]).
+
+:class:`TraceLog` is the event log; :func:`replay` re-executes the logged
+dependency graph under a new :class:`~repro.bigsim.target.TargetMachine`
+and CPU scale.  Replaying under the *same* parameters must reproduce the
+original prediction exactly — the tests pin that down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.bigsim.target import TargetMachine
+from repro.errors import ReproError
+
+__all__ = ["TraceEvent", "TraceLog", "replay"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One sequential execution block of a target processor.
+
+    A block computes for ``compute_ns`` (target time), after sending
+    nothing, and completes only once every message listed in ``receives``
+    (identified by ``(sender, step)``) has arrived; it then sends one
+    ``ghost_bytes``-sized message to each processor in ``sends``.
+    """
+
+    proc: int
+    step: int
+    compute_ns: float
+    sends: Tuple[int, ...]
+    receives: Tuple[Tuple[int, int], ...]
+    ghost_bytes: int
+
+
+@dataclass
+class TraceLog:
+    """Per-target-processor event logs from one emulation run."""
+
+    num_procs: int
+    steps: int
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def add(self, event: TraceEvent) -> None:
+        """Append one block (emulation-side API)."""
+        self.events.append(event)
+
+    def for_proc(self, proc: int) -> List[TraceEvent]:
+        """A processor's blocks in step order."""
+        out = [e for e in self.events if e.proc == proc]
+        out.sort(key=lambda e: e.step)
+        return out
+
+    def validate(self) -> None:
+        """Check the log is complete: every (proc, step) block present."""
+        seen = {(e.proc, e.step) for e in self.events}
+        missing = [(p, s) for p in range(self.num_procs)
+                   for s in range(self.steps) if (p, s) not in seen]
+        if missing:
+            raise ReproError(
+                f"trace incomplete: missing {len(missing)} blocks, "
+                f"first {missing[:3]}")
+
+
+def replay(trace: TraceLog, target: TargetMachine,
+           cpu_scale: float = 1.0) -> float:
+    """Re-predict target time per step from a trace.
+
+    Walks the logged dependency graph step by step: a block starts when
+    its processor finished its previous block, runs its (possibly
+    re-scaled) compute, then its outgoing messages arrive at
+    ``finish + target.message_ns(bytes)``; the next block additionally
+    waits for all its logged receives.  Returns the predicted target
+    nanoseconds per step (max completion / steps).
+
+    ``cpu_scale`` > 1 models a faster target CPU (compute shrinks).
+    """
+    trace.validate()
+    index: Dict[Tuple[int, int], TraceEvent] = {
+        (e.proc, e.step): e for e in trace.events}
+    # clock[p] = target time at which processor p's last block finished.
+    clock: Dict[int, float] = {p: 0.0 for p in range(trace.num_procs)}
+    # arrival[(sender, step, receiver)] = message arrival time.
+    arrival: Dict[Tuple[int, int, int], float] = {}
+    for step in range(trace.steps):
+        # Compute phase and sends for every processor at this step...
+        finish_compute: Dict[int, float] = {}
+        for p in range(trace.num_procs):
+            block = index[(p, step)]
+            t = clock[p] + block.compute_ns / cpu_scale
+            finish_compute[p] = t
+            for dst in block.sends:
+                arrival[(p, step, dst)] = t + target.message_ns(
+                    block.ghost_bytes)
+        # ...then each processor waits for its logged receives.
+        for p in range(trace.num_procs):
+            block = index[(p, step)]
+            t = finish_compute[p]
+            for (sender, sstep) in block.receives:
+                t = max(t, arrival[(sender, sstep, p)])
+            clock[p] = t
+    return max(clock.values()) / trace.steps

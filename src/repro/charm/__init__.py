@@ -1,0 +1,40 @@
+"""Charm-style event-driven object runtime (paper Sections 2.4, 3.2).
+
+Event-driven objects ("chares") are the fourth flow-of-control mechanism:
+location-independent objects whose execution is a sequence of entry-method
+invocations driven by message arrival.  Because "the entire execution state
+normally consists of a few application data structures and the name of the
+next event to run", chare migration is the simplest kind — pack the data
+(via the PUP framework), move it, and keep going (Section 3.2).
+
+The runtime provides:
+
+* :class:`Chare` — base class for event-driven objects;
+* :class:`CharmRuntime` — per-processor schedulers, location-independent
+  messaging with home-based location management and post-migration
+  forwarding, broadcasts, and reductions;
+* :mod:`repro.charm.sdag` — Structured Dagger (``when`` / ``overlap`` /
+  ``atomic``) for expressing a chare's life cycle without inversion of
+  control (paper Section 2.4.2, Figure 1).
+"""
+
+from repro.charm.chare import Chare
+from repro.charm.runtime import ArrayProxy, CharmRuntime, ElementProxy
+from repro.charm.reduction import REDUCERS
+from repro.charm.sdag import Atomic, Overlap, SdagError, When
+from repro.charm.returnswitch import ReturnSwitchFunction, finish, suspend
+
+__all__ = [
+    "Chare",
+    "CharmRuntime",
+    "ArrayProxy",
+    "ElementProxy",
+    "REDUCERS",
+    "When",
+    "Overlap",
+    "Atomic",
+    "SdagError",
+    "ReturnSwitchFunction",
+    "suspend",
+    "finish",
+]

@@ -1,0 +1,39 @@
+"""Reduction operators for chare-array contribute() calls."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.errors import CommError
+
+__all__ = ["REDUCERS", "combine"]
+
+#: Built-in reducers, by name.  Each maps (accumulator, value) -> accumulator.
+REDUCERS: Dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "max": max,
+    "min": min,
+    "prod": lambda a, b: a * b,
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+    "concat": lambda a, b: list(a) + [b] if isinstance(a, list) else [a, b],
+}
+
+
+def combine(op: str, values: list) -> Any:
+    """Fold ``values`` with reducer ``op`` (left fold, deterministic order)."""
+    if op not in REDUCERS:
+        raise CommError(f"unknown reduction op {op!r}; "
+                        f"known: {sorted(REDUCERS)}")
+    if not values:
+        raise CommError("reduction over no contributions")
+    if op == "concat":
+        out: list = []
+        for v in values:
+            out.append(v)
+        return out
+    fn = REDUCERS[op]
+    acc = values[0]
+    for v in values[1:]:
+        acc = fn(acc, v)
+    return acc

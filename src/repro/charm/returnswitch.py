@@ -1,0 +1,128 @@
+"""Return-switch functions: thread-free suspension by hand (paper §2.4.1).
+
+"A C or C++ subroutine can be written in a return-switch style to mimic
+thread suspend/resume.  When the subroutine is 'suspended', it returns
+instead of blocking with a flag indicating the point it left off.  When the
+subroutine is 'resumed', the same subroutine is called with the flag which
+can then be used in a 'goto' or 'switch' statement to resume execution at
+the point it left off."
+
+This module is the faithful Pythonic rendering of that technique — and of
+its ergonomics.  A :class:`ReturnSwitchFunction` subclass writes one
+``body(label, message)`` method that *returns* a :func:`suspend` marker
+(carrying the resume label) instead of blocking; all state that must
+survive suspension lives in instance attributes, because locals die at each
+return — exactly the manual state management the paper calls "confusing,
+error-prone and tough to debug" and which SDAG (Section 2.4.2) and threads
+exist to avoid.  The unit tests implement the same protocol in both styles
+to exhibit the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import SdagError
+
+__all__ = ["suspend", "finish", "ReturnSwitchFunction"]
+
+
+@dataclass(frozen=True)
+class _Suspend:
+    """Marker returned by a body: 'I stopped; resume me at this label'."""
+
+    label: str
+
+
+@dataclass(frozen=True)
+class _Finish:
+    """Marker returned by a body: the function has completed."""
+
+    result: Any
+
+
+def suspend(label: str) -> _Suspend:
+    """Return this from ``body`` to suspend until the next message."""
+    return _Suspend(label)
+
+
+def finish(result: Any = None) -> _Finish:
+    """Return this from ``body`` to complete the function."""
+    return _Finish(result)
+
+
+class ReturnSwitchFunction:
+    """Driver for one return-switch-style resumable function.
+
+    Subclasses implement ``body(label, message)``:
+
+    * ``label`` is where execution left off (``"start"`` initially);
+    * ``message`` is the input that caused the resume (None at start);
+    * the method must return :func:`suspend(next_label) <suspend>` or
+      :func:`finish(result) <finish>` — anything else is an error, the
+      "tough to debug" failure mode made loud.
+
+    Persistent state goes in ``self`` attributes; locals do not survive.
+    """
+
+    START = "start"
+
+    def __init__(self) -> None:
+        self._label: Optional[str] = self.START
+        self._result: Any = None
+        self._started = False
+        #: Number of suspensions so far (each is one scheduler round trip).
+        self.suspensions = 0
+
+    # -- protocol ------------------------------------------------------------
+
+    def body(self, label: str, message: Any) -> Any:
+        """Override: one 'switch on label' step of the function."""
+        raise NotImplementedError
+
+    # -- driving ------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """Whether the function ran to completion."""
+        return self._label is None
+
+    @property
+    def result(self) -> Any:
+        """The completion value (only meaningful once finished)."""
+        if not self.finished:
+            raise SdagError("return-switch function has not finished")
+        return self._result
+
+    def start(self) -> "ReturnSwitchFunction":
+        """Run from the beginning up to the first suspension."""
+        if self._started:
+            raise SdagError("return-switch function already started")
+        self._started = True
+        self._step(None)
+        return self
+
+    def resume(self, message: Any = None) -> "ReturnSwitchFunction":
+        """Deliver a message: call the body with the saved label."""
+        if not self._started:
+            raise SdagError("resume before start()")
+        if self.finished:
+            raise SdagError("resume after finish")
+        self._step(message)
+        return self
+
+    def _step(self, message: Any) -> None:
+        out = self.body(self._label, message)
+        if isinstance(out, _Suspend):
+            self._label = out.label
+            self.suspensions += 1
+        elif isinstance(out, _Finish):
+            self._label = None
+            self._result = out.result
+        else:
+            raise SdagError(
+                f"{type(self).__name__}.body returned {out!r}; a "
+                f"return-switch body must return suspend(label) or "
+                f"finish(result) — the manual-discipline hazard the paper "
+                f"warns about")

@@ -1,0 +1,419 @@
+"""The PUP (Pack/UnPack) framework (paper Section 3.1.1, reference [19]).
+
+Charm++'s PUP framework lets one traversal routine serve three phases:
+*sizing* (how many bytes will this object need?), *packing* (write the
+object into a buffer), and *unpacking* (rebuild the object from a buffer).
+A class participates by implementing a single ``pup(p)`` method that pipes
+every field through the pupper ``p``; the same method runs in all three
+phases.
+
+Example
+-------
+>>> class Particle:
+...     def __init__(self, x=0.0, v=0.0, tags=()):
+...         self.x, self.v, self.tags = x, v, list(tags)
+...     def pup(self, p):
+...         self.x = p.double(self.x)
+...         self.v = p.double(self.v)
+...         self.tags = p.list_int(self.tags)
+>>> pup_register(Particle)
+>>> blob = pup_pack(Particle(1.5, -2.0, [1, 2, 3]))
+>>> q = pup_unpack(blob)
+>>> (q.x, q.v, q.tags)
+(1.5, -2.0, [1, 2, 3])
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Optional, Protocol, Type, runtime_checkable
+
+import numpy as np
+
+from repro.errors import PupError
+
+__all__ = [
+    "Puppable",
+    "SizingPupper",
+    "PackingPupper",
+    "UnpackingPupper",
+    "pup_register",
+    "pup_pack",
+    "pup_unpack",
+    "pup_size",
+]
+
+
+@runtime_checkable
+class Puppable(Protocol):
+    """Anything with a ``pup(p)`` traversal method."""
+
+    def pup(self, p: "BasePupper") -> None:  # pragma: no cover - protocol
+        ...
+
+
+#: Registry of puppable classes for polymorphic pack/unpack.
+_REGISTRY: Dict[str, Type[Any]] = {}
+
+
+def _fresh_instance(cls: Type[Any]) -> Any:
+    """Build the blank instance ``pup`` runs against when unpacking.
+
+    Mirrors Charm++'s migration constructor: the class is default
+    constructed if possible, so ``pup`` methods written in the natural
+    ``self.x = p.double(self.x)`` style find their attributes initialized.
+    Classes without a zero-argument constructor fall back to ``__new__``
+    and must write a ``pup`` that tolerates missing attributes when
+    ``p.is_unpacking``.
+    """
+    try:
+        return cls()
+    except TypeError:
+        return cls.__new__(cls)
+
+
+def pup_register(cls: Type[Any], name: Optional[str] = None) -> Type[Any]:
+    """Register a puppable class (usable as a decorator).
+
+    Registration gives the class a stable wire name so :func:`pup_unpack`
+    can reconstruct the right type from a buffer.
+    """
+    key = name or cls.__qualname__
+    existing = _REGISTRY.get(key)
+    if existing is not None and existing is not cls:
+        raise PupError(f"pup name {key!r} already registered to {existing}")
+    _REGISTRY[key] = cls
+    cls._pup_name = key
+    return cls
+
+
+class BasePupper:
+    """Shared primitive-dispatch plumbing for the three pupper phases.
+
+    Subclasses override :meth:`_prim` (fixed-size primitives via
+    :mod:`struct`) and :meth:`_blob` (length-prefixed byte strings); the
+    typed convenience methods below are phase-independent.
+    """
+
+    #: Which phase this pupper runs ("sizing" | "packing" | "unpacking").
+    phase = "?"
+
+    @property
+    def is_sizing(self) -> bool:
+        """True in the sizing phase."""
+        return self.phase == "sizing"
+
+    @property
+    def is_packing(self) -> bool:
+        """True in the packing phase."""
+        return self.phase == "packing"
+
+    @property
+    def is_unpacking(self) -> bool:
+        """True in the unpacking phase."""
+        return self.phase == "unpacking"
+
+    # -- to be provided by phase subclasses --------------------------------
+
+    def _prim(self, fmt: str, value: Any) -> Any:
+        raise NotImplementedError
+
+    def _blob(self, value: Optional[bytes]) -> bytes:
+        raise NotImplementedError
+
+    # -- typed field methods -------------------------------------------------
+
+    def int(self, v: int = 0) -> int:
+        """A signed 64-bit integer field."""
+        return self._prim("<q", v)
+
+    def uint(self, v: int = 0) -> int:
+        """An unsigned 64-bit integer field."""
+        return self._prim("<Q", v)
+
+    def double(self, v: float = 0.0) -> float:
+        """A 64-bit float field."""
+        return self._prim("<d", v)
+
+    def bool(self, v: bool = False) -> bool:
+        """A boolean field."""
+        return bool(self._prim("<B", 1 if v else 0))
+
+    def bytes(self, v: bytes = b"") -> bytes:
+        """A variable-length byte-string field."""
+        return self._blob(v)
+
+    def str(self, v: str = "") -> str:
+        """A UTF-8 string field."""
+        if self.is_unpacking:
+            return self._blob(None).decode("utf-8")
+        self._blob(v.encode("utf-8"))
+        return v
+
+    def list_int(self, v: Optional[List[int]] = None) -> List[int]:
+        """A list of signed 64-bit integers."""
+        v = v or []
+        n = self.int(len(v))
+        if self.is_unpacking:
+            return [self.int() for _ in range(n)]
+        for item in v:
+            self.int(item)
+        return v
+
+    def list_double(self, v: Optional[List[float]] = None) -> List[float]:
+        """A list of 64-bit floats."""
+        v = v or []
+        n = self.int(len(v))
+        if self.is_unpacking:
+            return [self.double() for _ in range(n)]
+        for item in v:
+            self.double(item)
+        return v
+
+    def array(self, v: Optional[np.ndarray] = None) -> np.ndarray:
+        """A NumPy array field (dtype and shape preserved)."""
+        if self.is_unpacking:
+            dtype = np.dtype(self._blob(None).decode("ascii"))
+            ndim = self.int()
+            shape = tuple(self.int() for _ in range(ndim))
+            raw = self._blob(None)
+            return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+        if v is None:
+            raise PupError("array field requires a value when sizing/packing")
+        self._blob(v.dtype.str.encode("ascii"))
+        self.int(v.ndim)
+        for dim in v.shape:
+            self.int(dim)
+        self._blob(np.ascontiguousarray(v).tobytes())
+        return v
+
+    def obj(self, v: Optional[Any] = None) -> Any:
+        """A nested puppable object field (polymorphic via the registry)."""
+        if self.is_unpacking:
+            name = self._blob(None).decode("utf-8")
+            cls = _REGISTRY.get(name)
+            if cls is None:
+                raise PupError(f"unpacking unknown pup class {name!r}")
+            inst = _fresh_instance(cls)
+            inst.pup(self)
+            return inst
+        if v is None:
+            raise PupError("obj field requires a value when sizing/packing")
+        name = getattr(type(v), "_pup_name", None)
+        if name is None:
+            raise PupError(f"{type(v).__name__} is not pup_register'ed")
+        self._blob(name.encode("utf-8"))
+        v.pup(self)
+        return v
+
+    def list_obj(self, v: Optional[List[Any]] = None) -> List[Any]:
+        """A list of nested puppable objects."""
+        v = v or []
+        n = self.int(len(v))
+        if self.is_unpacking:
+            return [self.obj() for _ in range(n)]
+        for item in v:
+            self.obj(item)
+        return v
+
+
+class SizingPupper(BasePupper):
+    """Phase 1: accumulate the byte size the packed object will need."""
+
+    phase = "sizing"
+
+    def __init__(self) -> None:
+        self.size = 0
+
+    def _prim(self, fmt: str, value: Any) -> Any:
+        self.size += struct.calcsize(fmt)
+        return value
+
+    def _blob(self, value: Optional[bytes]) -> bytes:
+        assert value is not None
+        self.size += 8 + len(value)
+        return value
+
+
+class PackingPupper(BasePupper):
+    """Phase 2: write fields into a buffer."""
+
+    phase = "packing"
+
+    def __init__(self) -> None:
+        self._chunks: List[bytes] = []
+
+    def _prim(self, fmt: str, value: Any) -> Any:
+        self._chunks.append(struct.pack(fmt, value))
+        return value
+
+    def _blob(self, value: Optional[bytes]) -> bytes:
+        assert value is not None
+        self._chunks.append(struct.pack("<Q", len(value)))
+        self._chunks.append(value)
+        return value
+
+    def buffer(self) -> bytes:
+        """The packed bytes written so far."""
+        return b"".join(self._chunks)
+
+
+class UnpackingPupper(BasePupper):
+    """Phase 3: read fields back out of a buffer."""
+
+    phase = "unpacking"
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+
+    def _prim(self, fmt: str, value: Any) -> Any:
+        size = struct.calcsize(fmt)
+        if self._offset + size > len(self._data):
+            raise PupError("unpack ran past end of buffer")
+        out = struct.unpack_from(fmt, self._data, self._offset)[0]
+        self._offset += size
+        return out
+
+    def _blob(self, value: Optional[bytes]) -> bytes:
+        n = self._prim("<Q", 0)
+        if self._offset + n > len(self._data):
+            raise PupError("unpack blob ran past end of buffer")
+        out = self._data[self._offset:self._offset + n]
+        self._offset += n
+        return bytes(out)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every byte of the buffer has been consumed."""
+        return self._offset == len(self._data)
+
+
+# ---------------------------------------------------------------------------
+# convenience entry points
+# ---------------------------------------------------------------------------
+
+def pup_size(obj: Puppable) -> int:
+    """Bytes :func:`pup_pack` will produce for ``obj`` (sizing phase)."""
+    p = SizingPupper()
+    p._blob(getattr(type(obj), "_pup_name", type(obj).__qualname__).encode())
+    obj.pup(p)
+    return p.size
+
+
+def pup_pack(obj: Puppable) -> bytes:
+    """Pack a registered puppable object into bytes."""
+    name = getattr(type(obj), "_pup_name", None)
+    if name is None:
+        raise PupError(f"{type(obj).__name__} is not pup_register'ed")
+    p = PackingPupper()
+    p._blob(name.encode("utf-8"))
+    obj.pup(p)
+    return p.buffer()
+
+
+def pup_unpack(data: bytes) -> Any:
+    """Rebuild a registered puppable object from :func:`pup_pack` output."""
+    p = UnpackingPupper(data)
+    name = p._blob(None).decode("utf-8")
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise PupError(f"unpacking unknown pup class {name!r}")
+    inst = _fresh_instance(cls)
+    inst.pup(p)
+    if not p.exhausted:
+        raise PupError("trailing bytes after unpack — pup() asymmetry?")
+    return inst
+
+
+# ---------------------------------------------------------------------------
+# dynamic value codec (used by checkpoints and migration images)
+# ---------------------------------------------------------------------------
+
+#: Type tags for the dynamic value codec.
+_VT_NONE, _VT_BOOL, _VT_INT, _VT_FLOAT, _VT_BYTES, _VT_STR = 0, 1, 2, 3, 4, 5
+_VT_LIST, _VT_TUPLE, _VT_DICT, _VT_ARRAY = 6, 7, 8, 9
+
+
+def _pack_value_into(p: PackingPupper, value: Any) -> None:
+    if value is None:
+        p.int(_VT_NONE)
+    elif isinstance(value, bool):
+        p.int(_VT_BOOL)
+        p.bool(value)
+    elif isinstance(value, int):
+        p.int(_VT_INT)
+        p.int(value)
+    elif isinstance(value, float):
+        p.int(_VT_FLOAT)
+        p.double(value)
+    elif isinstance(value, (bytes, bytearray)):
+        p.int(_VT_BYTES)
+        p.bytes(bytes(value))
+    elif isinstance(value, str):
+        p.int(_VT_STR)
+        p.str(value)
+    elif isinstance(value, np.ndarray):
+        p.int(_VT_ARRAY)
+        p.array(value)
+    elif isinstance(value, (list, tuple)):
+        p.int(_VT_LIST if isinstance(value, list) else _VT_TUPLE)
+        p.int(len(value))
+        for item in value:
+            _pack_value_into(p, item)
+    elif isinstance(value, dict):
+        p.int(_VT_DICT)
+        p.int(len(value))
+        for k, v in value.items():
+            _pack_value_into(p, k)
+            _pack_value_into(p, v)
+    else:
+        raise PupError(f"pack_value cannot encode {type(value).__name__}")
+
+
+def _unpack_value_from(p: UnpackingPupper) -> Any:
+    tag = p.int()
+    if tag == _VT_NONE:
+        return None
+    if tag == _VT_BOOL:
+        return p.bool()
+    if tag == _VT_INT:
+        return p.int()
+    if tag == _VT_FLOAT:
+        return p.double()
+    if tag == _VT_BYTES:
+        return p.bytes()
+    if tag == _VT_STR:
+        return p.str()
+    if tag == _VT_ARRAY:
+        return p.array()
+    if tag in (_VT_LIST, _VT_TUPLE):
+        n = p.int()
+        items = [_unpack_value_from(p) for _ in range(n)]
+        return items if tag == _VT_LIST else tuple(items)
+    if tag == _VT_DICT:
+        n = p.int()
+        return {(_unpack_value_from(p)): _unpack_value_from(p)
+                for _ in range(n)}
+    raise PupError(f"pack_value stream corrupt: unknown tag {tag}")
+
+
+def pack_value(value: Any) -> bytes:
+    """Serialize a JSON-like value tree (plus bytes and NumPy arrays).
+
+    Used wherever a migration or checkpoint image — a nest of dicts,
+    byte strings, and numbers — must become real bytes on the simulated
+    disk or wire.  Inverse of :func:`unpack_value`.
+    """
+    p = PackingPupper()
+    _pack_value_into(p, value)
+    return p.buffer()
+
+
+def unpack_value(data: bytes) -> Any:
+    """Rebuild a value tree from :func:`pack_value` output."""
+    p = UnpackingPupper(data)
+    out = _unpack_value_from(p)
+    if not p.exhausted:
+        raise PupError("trailing bytes after unpack_value")
+    return out

@@ -1,0 +1,155 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch library failures without also swallowing programming errors.  The
+hierarchy mirrors the layering of the library: virtual-memory faults, OS-model
+resource refusals, threading errors, communication errors, and migration
+errors each have their own branch.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "VMError",
+    "SegmentationFault",
+    "PageFault",
+    "ProtectionFault",
+    "MapError",
+    "OutOfPhysicalMemory",
+    "OutOfVirtualAddressSpace",
+    "OSLimitError",
+    "ProcessLimitExceeded",
+    "ThreadLimitExceeded",
+    "ThreadError",
+    "SchedulerError",
+    "MigrationError",
+    "PupError",
+    "CommError",
+    "SdagError",
+    "AmpiError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Virtual memory
+# ---------------------------------------------------------------------------
+
+class VMError(ReproError):
+    """Base class for simulated virtual-memory errors."""
+
+
+class SegmentationFault(VMError):
+    """Access to a virtual address with no mapping at all.
+
+    Equivalent to SIGSEGV on an unmapped page: the address is not backed by
+    any page-table entry in the faulting :class:`~repro.vm.AddressSpace`.
+    """
+
+    def __init__(self, address: int, space: str = "?"):
+        super().__init__(f"segmentation fault at {address:#x} in address space {space!r}")
+        self.address = address
+        self.space = space
+
+
+class PageFault(VMError):
+    """Access to a reserved-but-unbacked page.
+
+    Isomalloc reserves virtual ranges cluster-wide but only assigns physical
+    frames to locally-resident threads; touching a reserved remote page
+    raises this fault (the paper's "DSM page fault" that thread migration is
+    designed to avoid, Section 3.4.2).
+    """
+
+    def __init__(self, address: int, space: str = "?"):
+        super().__init__(f"page fault (reserved, unbacked) at {address:#x} in {space!r}")
+        self.address = address
+        self.space = space
+
+
+class ProtectionFault(VMError):
+    """Access violating a mapping's protection bits (e.g. write to RO page)."""
+
+    def __init__(self, address: int, operation: str, space: str = "?"):
+        super().__init__(f"protection fault: {operation} at {address:#x} in {space!r}")
+        self.address = address
+        self.operation = operation
+        self.space = space
+
+
+class MapError(VMError):
+    """Invalid mmap/munmap/mremap request (overlap, misalignment, bad range)."""
+
+
+class OutOfPhysicalMemory(VMError):
+    """The simulated machine has no free physical frames left."""
+
+
+class OutOfVirtualAddressSpace(VMError):
+    """A region of the virtual address space has been exhausted.
+
+    This is the failure mode the paper's memory-aliasing technique exists to
+    avoid on 32-bit machines (Section 3.4.3): isomalloc consumes virtual
+    address space on *every* processor proportional to the *total* number of
+    threads.
+    """
+
+
+# ---------------------------------------------------------------------------
+# OS resource-limit models
+# ---------------------------------------------------------------------------
+
+class OSLimitError(ReproError):
+    """An operating-system-model limit refused a resource request."""
+
+
+class ProcessLimitExceeded(OSLimitError):
+    """fork() refused: per-user or kernel process limit reached (Table 2)."""
+
+
+class ThreadLimitExceeded(OSLimitError):
+    """pthread_create() refused: kernel thread limit reached (Table 2)."""
+
+
+# ---------------------------------------------------------------------------
+# Threading / scheduling
+# ---------------------------------------------------------------------------
+
+class ThreadError(ReproError):
+    """Invalid user-level thread operation (bad state transition, etc.)."""
+
+
+class SchedulerError(ReproError):
+    """Scheduler misuse, e.g. yielding from outside any thread context."""
+
+
+# ---------------------------------------------------------------------------
+# Migration / serialization
+# ---------------------------------------------------------------------------
+
+class MigrationError(ReproError):
+    """A thread or object migration could not be carried out."""
+
+
+class PupError(ReproError):
+    """Pack/UnPack framework error (size mismatch, unknown type, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Communication / runtime layers
+# ---------------------------------------------------------------------------
+
+class CommError(ReproError):
+    """Message-layer error (unknown destination, truncation, ...)."""
+
+
+class SdagError(ReproError):
+    """Structured-Dagger construct misuse or state-machine violation."""
+
+
+class AmpiError(ReproError):
+    """Adaptive-MPI semantic error (count mismatch, invalid rank, ...)."""

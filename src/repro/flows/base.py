@@ -1,0 +1,128 @@
+"""Common interface and measurement harness for flow-of-control mechanisms."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.sim.processor import Processor
+
+__all__ = ["FlowHandle", "FlowMechanism", "YieldBenchmarkResult"]
+
+
+@dataclass
+class FlowHandle:
+    """One created flow of control (opaque per-mechanism payload)."""
+
+    index: int
+    payload: object = None
+
+
+@dataclass(frozen=True)
+class YieldBenchmarkResult:
+    """Outcome of the Figures 4–8 yield-loop microbenchmark."""
+
+    mechanism: str
+    platform: str
+    n_flows: int
+    rounds: int
+    total_ns: float
+    #: Time per flow per context switch — the figures' y axis.
+    ns_per_switch: float
+
+
+class FlowMechanism(ABC):
+    """A way to run many flows of control on one simulated processor.
+
+    Subclasses implement creation (acquiring the mechanism's real resources
+    and hitting its real limits) and the mechanistic switch-cost model.
+    """
+
+    #: Mechanism label used in figures ("process", "pthread", "cth", "ampi").
+    label: str = "?"
+    #: Relative cache working set touched per switch (drives the saturating
+    #: cache-penalty term; processes re-touch the most state).
+    cache_weight: float = 1.0
+
+    def __init__(self, processor: Processor):
+        self.processor = processor
+        self.profile = processor.profile
+        self.flows: List[FlowHandle] = []
+
+    # -- creation ---------------------------------------------------------
+
+    @abstractmethod
+    def _create(self, index: int) -> FlowHandle:
+        """Mechanism-specific creation; may raise an OS-limit error."""
+
+    @abstractmethod
+    def _destroy(self, handle: FlowHandle) -> None:
+        """Mechanism-specific teardown."""
+
+    def create_flow(self) -> FlowHandle:
+        """Create one more flow, charging its creation cost."""
+        handle = self._create(len(self.flows))
+        self.flows.append(handle)
+        return handle
+
+    def destroy_all(self) -> None:
+        """Tear down every flow this mechanism created."""
+        while self.flows:
+            self._destroy(self.flows.pop())
+
+    @property
+    def n_flows(self) -> int:
+        """Number of currently live flows."""
+        return len(self.flows)
+
+    # -- switch-cost model ---------------------------------------------------
+
+    @abstractmethod
+    def switch_cost_ns(self, n_flows: Optional[int] = None) -> float:
+        """Modeled cost of one context switch with ``n_flows`` flows live."""
+
+    def cache_penalty_ns(self, n_flows: int) -> float:
+        """Saturating cache-pollution term shared by every mechanism.
+
+        With few flows, each switch finds its state warm in cache; as the
+        set of live flows outgrows the cache, every switch pays reload
+        misses.  ``penalty -> cache_penalty_ns * cache_weight`` as
+        ``n_flows -> inf``, half-saturating at ``cache_flows_scale`` flows.
+        This is what makes the user-level thread curves "increase slowly as
+        the number of flows increases" (Section 4.1).
+        """
+        p = self.profile
+        return (p.cache_penalty_ns * self.cache_weight
+                * n_flows / (n_flows + p.cache_flows_scale))
+
+    # -- the experiment ---------------------------------------------------------
+
+    def run_yield_benchmark(self, n_flows: int, rounds: int = 3,
+                            keep: bool = False) -> YieldBenchmarkResult:
+        """The paper's microbenchmark: n flows each yield ``rounds`` times.
+
+        Creates the flows for real (so limit and memory failures surface),
+        then charges ``n_flows * rounds`` modeled switches to the processor
+        clock and reports time per flow per switch.
+        """
+        if n_flows <= 0:
+            raise ReproError("benchmark needs at least one flow")
+        while self.n_flows < n_flows:
+            self.create_flow()
+        start = self.processor.now
+        per_switch = self.switch_cost_ns(n_flows)
+        switches = n_flows * rounds
+        self.processor.charge(per_switch * switches)
+        total = self.processor.now - start
+        if not keep:
+            self.destroy_all()
+        return YieldBenchmarkResult(
+            mechanism=self.label,
+            platform=self.profile.name,
+            n_flows=n_flows,
+            rounds=rounds,
+            total_ns=total,
+            ns_per_switch=total / switches,
+        )

@@ -1,0 +1,26 @@
+"""POSE-style optimistic parallel discrete-event simulation.
+
+The paper's first-page motivation list includes "parallel discrete event
+simulations, where each simulation object can be treated as a separate flow
+of control" (reference [39], POSE) — and BigSim itself was originally built
+over POSE.  This package is a compact Time-Warp engine over the simulated
+cluster:
+
+* a :class:`Poser` is one simulation object with its own virtual time;
+* posers process events *optimistically* as they arrive, snapshotting
+  their state (via the PUP framework — the same serialization migration
+  uses) before each event;
+* a straggler (an event with a timestamp behind the poser's clock) forces
+  a **rollback**: restore the snapshot, *cancel* the outputs sent from the
+  rolled-back events with antimessages, and re-execute;
+* a global-virtual-time (GVT) estimate advances behind the slowest
+  in-flight event, and fossil collection discards history older than GVT.
+
+The engine's correctness contract — optimistic execution produces exactly
+the results of a sequential in-timestamp-order execution, whatever the
+network reordering — is what the tests pin down.
+"""
+
+from repro.pose.engine import PoseEngine, Poser, PoseStats
+
+__all__ = ["PoseEngine", "Poser", "PoseStats"]

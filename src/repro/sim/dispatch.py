@@ -1,0 +1,57 @@
+"""Tag-based message dispatch for simulated processors.
+
+Several subsystems (the thread migrator, the Charm runtime, AMPI) need to
+receive messages on the same processor.  :class:`TagDispatcher` installs
+itself as the processor's message handler and routes each arriving message
+to the handler registered for the message's tag prefix (the part of the tag
+before the first ``:``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import CommError
+from repro.sim.network import Message
+from repro.sim.processor import Processor
+
+__all__ = ["TagDispatcher"]
+
+
+class TagDispatcher:
+    """Routes messages arriving at one processor by tag prefix."""
+
+    def __init__(self, processor: Processor):
+        self.processor = processor
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+        processor.set_message_handler(self._dispatch)
+
+    def register(self, prefix: str, handler: Callable[[Message], None]) -> None:
+        """Register ``handler`` for messages whose tag prefix is ``prefix``."""
+        if prefix in self._handlers:
+            raise CommError(f"tag prefix {prefix!r} already registered "
+                            f"on processor {self.processor.id}")
+        self._handlers[prefix] = handler
+
+    def unregister(self, prefix: str) -> None:
+        """Remove a previously registered handler."""
+        self._handlers.pop(prefix, None)
+
+    def _dispatch(self, msg: Message) -> None:
+        prefix = msg.tag.split(":", 1)[0]
+        handler = self._handlers.get(prefix)
+        if handler is None:
+            raise CommError(
+                f"no handler for tag {msg.tag!r} on processor "
+                f"{self.processor.id} (registered: {sorted(self._handlers)})"
+            )
+        handler(msg)
+
+    @staticmethod
+    def of(processor: Processor) -> "TagDispatcher":
+        """Get or create the dispatcher attached to ``processor``."""
+        disp = getattr(processor, "_tag_dispatcher", None)
+        if disp is None:
+            disp = TagDispatcher(processor)
+            processor._tag_dispatcher = disp  # type: ignore[attr-defined]
+        return disp

@@ -1,0 +1,114 @@
+"""Interconnect topologies: hop counts for the cluster network.
+
+The paper's machines range from Myrinet Linux clusters (Figure 12's
+Tungsten) to the Blue Gene/L 3-D torus whose simulation motivates BigSim;
+the group's companion work simulates interconnection networks explicitly
+(reference [40]).  This module provides hop-count models that the
+:class:`~repro.sim.network.Network` can use to charge per-hop latency:
+
+* :class:`FullyConnected` — one hop between any pair (the default,
+  crossbar-like model);
+* :class:`Torus3D` — wrap-around Manhattan distance on a 3-D torus
+  (Blue Gene-class);
+* :class:`FatTree` — two-level switch hierarchy: 2 hops within a leaf
+  switch, 4 hops across (Myrinet/InfiniBand-class Clos fabric).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["Topology", "FullyConnected", "Torus3D", "FatTree"]
+
+
+class Topology(ABC):
+    """Maps a processor pair to a hop count."""
+
+    @abstractmethod
+    def hops(self, src: int, dst: int) -> int:
+        """Network hops between two processors (0 when src == dst)."""
+
+    @abstractmethod
+    def size(self) -> int:
+        """Number of processors the topology addresses."""
+
+    def diameter(self) -> int:
+        """Maximum hops over all pairs (brute force; small machines)."""
+        n = self.size()
+        return max(self.hops(a, b) for a in range(n) for b in range(n))
+
+
+@dataclass(frozen=True)
+class FullyConnected(Topology):
+    """Every pair is one hop apart (ideal crossbar)."""
+
+    n: int
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        return 0 if src == dst else 1
+
+    def size(self) -> int:
+        return self.n
+
+    def _check(self, src: int, dst: int) -> None:
+        if not (0 <= src < self.n and 0 <= dst < self.n):
+            raise ReproError(f"bad processor pair ({src}, {dst})")
+
+
+@dataclass(frozen=True)
+class Torus3D(Topology):
+    """3-D torus with wrap-around links (Blue Gene-class)."""
+
+    dims: Tuple[int, int, int]
+
+    def coords(self, proc: int) -> Tuple[int, int, int]:
+        """Processor id -> (x, y, z)."""
+        x, y, z = self.dims
+        if not 0 <= proc < x * y * z:
+            raise ReproError(f"bad processor {proc} for torus {self.dims}")
+        return proc % x, (proc // x) % y, proc // (x * y)
+
+    def hops(self, src: int, dst: int) -> int:
+        sx, sy, sz = self.coords(src)
+        dx, dy, dz = self.coords(dst)
+        out = 0
+        for s, d, n in ((sx, dx, self.dims[0]), (sy, dy, self.dims[1]),
+                        (sz, dz, self.dims[2])):
+            delta = abs(s - d)
+            out += min(delta, n - delta)        # wrap-around shortcut
+        return out
+
+    def size(self) -> int:
+        x, y, z = self.dims
+        return x * y * z
+
+
+@dataclass(frozen=True)
+class FatTree(Topology):
+    """Two-level fat tree: leaf switches of ``radix`` ports plus a core.
+
+    2 hops (up to the leaf switch and back down) within a leaf; 4 hops
+    (leaf -> core -> leaf) across leaves.
+    """
+
+    n: int
+    radix: int = 8
+
+    def __post_init__(self):
+        if self.radix <= 0:
+            raise ReproError("fat-tree radix must be positive")
+
+    def hops(self, src: int, dst: int) -> int:
+        if not (0 <= src < self.n and 0 <= dst < self.n):
+            raise ReproError(f"bad processor pair ({src}, {dst})")
+        if src == dst:
+            return 0
+        return 2 if src // self.radix == dst // self.radix else 4
+
+    def size(self) -> int:
+        return self.n

@@ -1,0 +1,492 @@
+"""Simulated address spaces: mappings, reads/writes, and remapping.
+
+An :class:`AddressSpace` combines an :class:`~repro.vm.layout.AddressSpaceLayout`
+(where regions live), a :class:`~repro.vm.pagetable.PageTable` (what is
+mapped), and a :class:`~repro.vm.physical.PhysicalMemory` pool (what is
+resident).  It exposes the handful of operations the paper's techniques are
+built from:
+
+* ``mmap``/``munmap`` with either kernel-chosen or fixed addresses;
+* *reserved* mappings that consume virtual address space but no physical
+  frames — how isomalloc claims remote threads' slots "only in principle";
+* ``attach_frames``/``detach_frames`` to make a reserved range resident or
+  strip its frames out (a migration departing/arriving);
+* ``remap_frames`` to alias a different set of physical frames under an
+  existing virtual range — the memory-aliasing stack switch (Figure 3);
+* byte and word reads/writes with protection checking, so simulated
+  pointers stored in simulated memory behave like real ones.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    MapError,
+    OutOfVirtualAddressSpace,
+    PageFault,
+    ProtectionFault,
+    SegmentationFault,
+    VMError,
+)
+from repro.vm.layout import AddressSpaceLayout
+from repro.vm.pagetable import PageTable, Protection
+from repro.vm.physical import Frame, PhysicalMemory
+
+__all__ = ["Mapping", "AddressSpace"]
+
+
+class Mapping:
+    """One contiguous mmap'ed range within an address space."""
+
+    __slots__ = ("start", "length", "prot", "region", "tag", "reserved")
+
+    def __init__(self, start: int, length: int, prot: Protection,
+                 region: str, tag: str, reserved: bool):
+        self.start = start
+        self.length = length
+        self.prot = prot
+        self.region = region
+        #: Free-form label ("stack of thread 7", "GOT", ...), for debugging
+        #: and for migration bookkeeping.
+        self.tag = tag
+        #: True if created without physical backing (isomalloc remote claim).
+        self.reserved = reserved
+
+    @property
+    def end(self) -> int:
+        """One past the mapping's last address."""
+        return self.start + self.length
+
+    def contains(self, address: int) -> bool:
+        """Whether ``address`` falls inside this mapping."""
+        return self.start <= address < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "reserved" if self.reserved else "mapped"
+        return f"<Mapping {self.tag!r} [{self.start:#x},{self.end:#x}) {kind}>"
+
+
+class _FreeList:
+    """First-fit free-interval allocator over one region's address range.
+
+    Intervals are kept sorted and non-adjacent, so fixed allocation and
+    release locate their interval with :func:`bisect.bisect_right` —
+    O(log n) plus a list shift — which matters when tens of thousands of
+    thread stacks live in one region.
+    """
+
+    def __init__(self, start: int, end: int):
+        self._intervals: List[Tuple[int, int]] = [(start, end)]
+
+    def allocate(self, length: int, align: int) -> int:
+        """Carve out an aligned range of ``length`` bytes; first fit."""
+        for i, (lo, hi) in enumerate(self._intervals):
+            base = -(-lo // align) * align
+            if base + length <= hi:
+                self._remove_range(i, lo, hi, base, base + length)
+                return base
+        raise OutOfVirtualAddressSpace(
+            f"no free interval of {length} bytes (align {align})"
+        )
+
+    def allocate_fixed(self, start: int, length: int) -> None:
+        """Carve out exactly ``[start, start+length)``; error if not free."""
+        end = start + length
+        i = bisect.bisect_right(self._intervals, (start, float("inf"))) - 1
+        if i >= 0:
+            lo, hi = self._intervals[i]
+            if lo <= start and end <= hi:
+                self._remove_range(i, lo, hi, start, end)
+                return
+        raise MapError(f"fixed range [{start:#x},{end:#x}) is not free")
+
+    def release(self, start: int, length: int) -> None:
+        """Return ``[start, start+length)`` to the free list, merging."""
+        end = start + length
+        iv = self._intervals
+        i = bisect.bisect_right(iv, (start, float("inf")))
+        # Overlap check against the neighbors.
+        if i > 0 and iv[i - 1][1] > start:
+            raise MapError(
+                f"release [{start:#x},{end:#x}) overlaps free interval")
+        if i < len(iv) and iv[i][0] < end:
+            raise MapError(
+                f"release [{start:#x},{end:#x}) overlaps free interval")
+        merge_left = i > 0 and iv[i - 1][1] == start
+        merge_right = i < len(iv) and iv[i][0] == end
+        if merge_left and merge_right:
+            iv[i - 1] = (iv[i - 1][0], iv[i][1])
+            del iv[i]
+        elif merge_left:
+            iv[i - 1] = (iv[i - 1][0], end)
+        elif merge_right:
+            iv[i] = (start, iv[i][1])
+        else:
+            iv.insert(i, (start, end))
+
+    def free_bytes(self) -> int:
+        """Total bytes currently free."""
+        return sum(hi - lo for lo, hi in self._intervals)
+
+    def largest_free(self) -> int:
+        """Size of the largest free interval."""
+        return max((hi - lo for lo, hi in self._intervals), default=0)
+
+    def _remove_range(self, i: int, lo: int, hi: int, start: int, end: int) -> None:
+        repl: List[Tuple[int, int]] = []
+        if lo < start:
+            repl.append((lo, start))
+        if end < hi:
+            repl.append((end, hi))
+        self._intervals[i:i + 1] = repl
+
+
+class AddressSpace:
+    """A simulated process address space.
+
+    Parameters
+    ----------
+    layout:
+        Region map, word size and page size.
+    physical:
+        Frame pool backing resident pages (typically shared by every address
+        space on one simulated processor).
+    name:
+        Identifier used in fault messages.
+    """
+
+    def __init__(self, layout: AddressSpaceLayout, physical: PhysicalMemory,
+                 name: str = "anon"):
+        if physical.page_size != layout.page_size:
+            raise VMError("physical page size differs from layout page size")
+        self.layout = layout
+        self.physical = physical
+        self.name = name
+        self.pagetable = PageTable()
+        self._mappings: Dict[int, Mapping] = {}       # keyed by start address
+        self._free: Dict[str, _FreeList] = {
+            rname: _FreeList(r.start, r.end) for rname, r in layout.regions.items()
+        }
+        # -- accounting (read by cost models and by the benchmarks) --------
+        self.mmap_calls = 0
+        self.munmap_calls = 0
+        self.remap_calls = 0
+        self.page_faults = 0
+        self.cow_breaks = 0
+        self.bytes_copied = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+    # mapping management
+    # ------------------------------------------------------------------
+
+    def mmap(self, length: int, prot: Protection = Protection.RW, *,
+             region: str = "heap", addr: Optional[int] = None,
+             reserve_only: bool = False, tag: str = "") -> Mapping:
+        """Create a new mapping.
+
+        Parameters
+        ----------
+        length:
+            Bytes to map; rounded up to whole pages.
+        prot:
+            Protection bits for every page of the mapping.
+        region:
+            Which layout region to allocate from when ``addr`` is ``None``.
+        addr:
+            Fixed start address (must be page aligned and free), or ``None``
+            to let the allocator choose — like ``MAP_FIXED`` vs. not.
+        reserve_only:
+            If true, claim the virtual range without assigning physical
+            frames.  Reads/writes fault until :meth:`attach_frames`.
+        tag:
+            Debugging/bookkeeping label.
+        """
+        if length <= 0:
+            raise MapError(f"mmap length must be positive, got {length}")
+        length = self.layout.page_align_up(length)
+        if addr is None:
+            start = self._free[region].allocate(length, self.layout.page_size)
+        else:
+            if addr % self.layout.page_size:
+                raise MapError(f"fixed mmap address {addr:#x} not page aligned")
+            region = self.layout.region_of(addr).name
+            self._free[region].allocate_fixed(addr, length)
+            start = addr
+        npages = length // self.layout.page_size
+        first_vpn = self.layout.page_of(start)
+        if reserve_only:
+            for vpn in range(first_vpn, first_vpn + npages):
+                self.pagetable.map(vpn, None, prot)
+        else:
+            try:
+                frames = self.physical.allocate_frames(npages)
+            except Exception:
+                self._free[region].release(start, length)
+                raise
+            for i, vpn in enumerate(range(first_vpn, first_vpn + npages)):
+                self.pagetable.map(vpn, frames[i], prot)
+        mapping = Mapping(start, length, prot, region, tag, reserve_only)
+        self._mappings[start] = mapping
+        self.mmap_calls += 1
+        return mapping
+
+    def munmap(self, mapping: Mapping) -> None:
+        """Destroy a mapping, freeing any resident frames."""
+        if self._mappings.get(mapping.start) is not mapping:
+            raise MapError(f"mapping {mapping!r} not found in {self.name!r}")
+        first_vpn = self.layout.page_of(mapping.start)
+        npages = mapping.length // self.layout.page_size
+        for vpn in range(first_vpn, first_vpn + npages):
+            pte = self.pagetable.unmap(vpn)
+            if pte.frame is not None:
+                self.physical.free_frame(pte.frame)
+        self._free[mapping.region].release(mapping.start, mapping.length)
+        del self._mappings[mapping.start]
+        self.munmap_calls += 1
+
+    def mprotect(self, mapping: Mapping, prot: Protection) -> None:
+        """Change every page's protection bits in an existing mapping."""
+        if self._mappings.get(mapping.start) is not mapping:
+            raise MapError(f"mapping {mapping!r} not found in {self.name!r}")
+        first_vpn = self.layout.page_of(mapping.start)
+        npages = mapping.length // self.layout.page_size
+        for vpn in range(first_vpn, first_vpn + npages):
+            self.pagetable.protect(vpn, prot)
+        mapping.prot = prot
+
+    def mapping_at(self, address: int) -> Optional[Mapping]:
+        """Return the mapping containing ``address``, or ``None``."""
+        # Mappings are few per space in practice; linear scan keeps the
+        # structure simple.  Hot paths (read/write) go through the page
+        # table instead.
+        for m in self._mappings.values():
+            if m.contains(address):
+                return m
+        return None
+
+    def mappings(self) -> List[Mapping]:
+        """All current mappings (unordered)."""
+        return list(self._mappings.values())
+
+    # ------------------------------------------------------------------
+    # frame attachment (isomalloc migrate-in/out) and aliasing
+    # ------------------------------------------------------------------
+
+    def attach_frames(self, mapping: Mapping, frames: List[Frame]) -> None:
+        """Back a reserved mapping with physical frames (migrate-in)."""
+        npages = mapping.length // self.layout.page_size
+        if len(frames) != npages:
+            raise MapError(f"need {npages} frames, got {len(frames)}")
+        first_vpn = self.layout.page_of(mapping.start)
+        for i, vpn in enumerate(range(first_vpn, first_vpn + npages)):
+            pte = self.pagetable.lookup(vpn)
+            if pte is None:
+                raise MapError(f"page {vpn} of {mapping!r} not mapped")
+            if pte.frame is not None:
+                raise MapError(f"page {vpn} of {mapping!r} already resident")
+            pte.frame = frames[i]
+        mapping.reserved = False
+        self.remap_calls += 1
+
+    def detach_frames(self, mapping: Mapping) -> List[Frame]:
+        """Strip a mapping's frames, leaving the range reserved (migrate-out).
+
+        The caller takes ownership of the returned frames; the virtual range
+        stays claimed so no other allocation can reuse the addresses.
+        """
+        npages = mapping.length // self.layout.page_size
+        first_vpn = self.layout.page_of(mapping.start)
+        frames: List[Frame] = []
+        for vpn in range(first_vpn, first_vpn + npages):
+            pte = self.pagetable.lookup(vpn)
+            if pte is None or pte.frame is None:
+                raise MapError(f"page {vpn} of {mapping!r} not resident")
+            frames.append(pte.frame)
+            pte.frame = None
+        mapping.reserved = True
+        self.remap_calls += 1
+        return frames
+
+    def remap_frames(self, mapping: Mapping, frames: List[Frame]) -> List[Frame]:
+        """Swap the physical frames under a mapping; return the old frames.
+
+        This is the memory-aliasing context switch (paper Figure 3): the
+        virtual range — the common stack address — is untouched, but a
+        different thread's physical pages now appear behind it.  Neither set
+        of frames is copied or freed; ownership of the displaced frames
+        passes to the caller.
+        """
+        npages = mapping.length // self.layout.page_size
+        if len(frames) != npages:
+            raise MapError(f"need {npages} frames, got {len(frames)}")
+        first_vpn = self.layout.page_of(mapping.start)
+        old: List[Frame] = []
+        for i, vpn in enumerate(range(first_vpn, first_vpn + npages)):
+            pte = self.pagetable.lookup(vpn)
+            if pte is None:
+                raise MapError(f"page {vpn} of {mapping!r} not mapped")
+            old.append(pte.frame)  # may be None for a reserved page
+            pte.frame = frames[i]
+        mapping.reserved = False
+        self.remap_calls += 1
+        return old
+
+    # ------------------------------------------------------------------
+    # loads and stores
+    # ------------------------------------------------------------------
+
+    def _translate(self, address: int, *, write: bool) -> Tuple[Frame, int]:
+        vpn = self.layout.page_of(address)
+        pte = self.pagetable.lookup(vpn)
+        if pte is None:
+            raise SegmentationFault(address, self.name)
+        if pte.frame is None:
+            self.page_faults += 1
+            raise PageFault(address, self.name)
+        needed = Protection.WRITE if write else Protection.READ
+        if not pte.prot & needed:
+            raise ProtectionFault(address, "write" if write else "read", self.name)
+        if write and pte.cow:
+            # Break the copy-on-write sharing: this owner gets a private
+            # copy (or exclusive use, if it is the last sharer).
+            self.cow_breaks += 1
+            if pte.frame.refcount > 1:
+                private = self.physical.allocate_frame()
+                private.copy_from(pte.frame)
+                self.physical.free_frame(pte.frame)   # drops one owner
+                pte.frame = private
+                self.bytes_copied += self.layout.page_size
+            pte.cow = False
+        return pte.frame, address % self.layout.page_size
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``address`` (may span pages)."""
+        out = bytearray()
+        remaining = length
+        cursor = address
+        page_size = self.layout.page_size
+        while remaining > 0:
+            frame, offset = self._translate(cursor, write=False)
+            chunk = min(remaining, page_size - offset)
+            out += frame.read(offset, chunk)
+            cursor += chunk
+            remaining -= chunk
+        self.bytes_read += length
+        return bytes(out)
+
+    def write(self, address: int, payload: bytes) -> None:
+        """Write ``payload`` starting at ``address`` (may span pages)."""
+        cursor = address
+        view = memoryview(payload)
+        page_size = self.layout.page_size
+        while view:
+            frame, offset = self._translate(cursor, write=True)
+            chunk = min(len(view), page_size - offset)
+            frame.write(offset, bytes(view[:chunk]))
+            cursor += chunk
+            view = view[chunk:]
+        self.bytes_written += len(payload)
+
+    def read_word(self, address: int) -> int:
+        """Read one machine word (layout word size, little endian)."""
+        return int.from_bytes(self.read(address, self.layout.word_bytes), "little")
+
+    def write_word(self, address: int, value: int) -> None:
+        """Write one machine word (layout word size, little endian)."""
+        self.write(address, value.to_bytes(self.layout.word_bytes, "little", signed=False))
+
+    def memset(self, address: int, value: int, length: int) -> None:
+        """Fill ``length`` bytes at ``address`` with ``value``."""
+        self.write(address, bytes([value]) * length)
+
+    def memcpy_in(self, dst: int, src: int, length: int) -> None:
+        """Copy ``length`` bytes within this address space, counting the copy."""
+        self.write(dst, self.read(src, length))
+        self.bytes_copied += length
+
+    # ------------------------------------------------------------------
+    # interrogation
+    # ------------------------------------------------------------------
+
+    def is_mapped(self, address: int) -> bool:
+        """Whether the page containing ``address`` has any mapping."""
+        return self.pagetable.lookup(self.layout.page_of(address)) is not None
+
+    def is_resident(self, address: int) -> bool:
+        """Whether the page containing ``address`` has a physical frame."""
+        pte = self.pagetable.lookup(self.layout.page_of(address))
+        return pte is not None and pte.frame is not None
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Total virtual bytes claimed by mappings (resident or reserved)."""
+        return sum(m.length for m in self._mappings.values())
+
+    @property
+    def resident_bytes(self) -> int:
+        """Total bytes backed by physical frames."""
+        return self.pagetable.resident_pages() * self.layout.page_size
+
+    def region_free_bytes(self, region: str) -> int:
+        """Free virtual address space remaining in ``region``."""
+        return self._free[region].free_bytes()
+
+    def region_largest_free(self, region: str) -> int:
+        """Largest contiguous free range in ``region``."""
+        return self._free[region].largest_free()
+
+    # ------------------------------------------------------------------
+    # process-model support
+    # ------------------------------------------------------------------
+
+    def fork_copy(self, name: str, cow: bool = False) -> "AddressSpace":
+        """Duplicate this address space (fork()).
+
+        With ``cow=False`` every resident page is eagerly copied — the
+        ancient fork.  With ``cow=True`` parent and child *share* frames
+        marked copy-on-write (for writable pages), and the first write on
+        either side pays the copy — the modern fork, which is why process
+        creation looks cheap until the child touches its memory.  Either
+        way the paper's point stands: full separation of state makes
+        processes "heavy-weight" in total memory once both sides write.
+        """
+        child = AddressSpace(self.layout, self.physical, name)
+        page = self.layout.page_size
+        for m in self._mappings.values():
+            cm = child.mmap(m.length, m.prot, addr=m.start,
+                            reserve_only=True, tag=m.tag)
+            if m.reserved:
+                continue
+            npages = m.length // page
+            first_vpn = self.layout.page_of(m.start)
+            if cow:
+                writable = bool(m.prot & Protection.WRITE)
+                for vpn in range(first_vpn, first_vpn + npages):
+                    src = self.pagetable.lookup(vpn)
+                    assert src is not None and src.frame is not None
+                    self.physical.share_frame(src.frame)
+                    dst = child.pagetable.lookup(vpn)
+                    assert dst is not None
+                    dst.frame = src.frame
+                    if writable:
+                        src.cow = True
+                        dst.cow = True
+                cm.reserved = False
+            else:
+                frames = self.physical.allocate_frames(npages)
+                for i, vpn in enumerate(range(first_vpn,
+                                              first_vpn + npages)):
+                    src = self.pagetable.lookup(vpn)
+                    assert src is not None and src.frame is not None
+                    frames[i].copy_from(src.frame)
+                child.attach_frames(cm, frames)
+                child.bytes_copied += m.length
+        return child
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<AddressSpace {self.name!r} {len(self._mappings)} mappings, "
+                f"{self.resident_bytes} resident bytes>")

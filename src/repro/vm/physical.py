@@ -1,0 +1,200 @@
+"""Physical memory: page frames and the frame allocator.
+
+Physical memory is a pool of fixed-size page frames.  Frames are the unit of
+residency accounting: isomalloc reserves *virtual* ranges cluster-wide but
+only assigns frames to locally-resident threads ("Addresses used by all
+remote threads are claimed only in principle, but never actually allocated
+physical memory unless that remote thread migrates in", paper Section 3.4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import OutOfPhysicalMemory, VMError
+
+__all__ = ["Frame", "PhysicalMemory"]
+
+
+class Frame:
+    """One physical page frame.
+
+    A frame owns its backing :class:`bytearray` lazily: frames that have
+    never been written report as zero-filled without allocating host memory,
+    which lets tests build simulated machines with gigabytes of "physical"
+    memory cheaply.
+    """
+
+    __slots__ = ("index", "page_size", "_data", "pinned", "allocated",
+                 "refcount")
+
+    def __init__(self, index: int, page_size: int):
+        self.index = index
+        self.page_size = page_size
+        self._data: Optional[bytearray] = None
+        #: Pinned frames may not be freed (used for kernel-reserved pages).
+        self.pinned = False
+        #: Whether the frame is currently handed out by its pool.
+        self.allocated = True
+        #: Owners sharing this frame (copy-on-write fork raises it).
+        self.refcount = 1
+
+    @property
+    def data(self) -> bytearray:
+        """Backing bytes, materialized on first touch."""
+        if self._data is None:
+            self._data = bytearray(self.page_size)
+        return self._data
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the frame has host-memory backing yet."""
+        return self._data is not None
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``offset`` within the frame."""
+        if offset < 0 or offset + length > self.page_size:
+            raise VMError(f"frame read out of range: {offset}+{length} > {self.page_size}")
+        if self._data is None:
+            return bytes(length)
+        return bytes(self._data[offset:offset + length])
+
+    def write(self, offset: int, payload: bytes) -> None:
+        """Write ``payload`` at ``offset`` within the frame."""
+        if offset < 0 or offset + len(payload) > self.page_size:
+            raise VMError(f"frame write out of range: {offset}+{len(payload)} > {self.page_size}")
+        self.data[offset:offset + len(payload)] = payload
+
+    def zero(self) -> None:
+        """Reset the frame to all-zero (drops host backing)."""
+        self._data = None
+
+    def copy_from(self, other: "Frame") -> None:
+        """Copy another frame's contents into this one."""
+        if other.page_size != self.page_size:
+            raise VMError("frame size mismatch in copy_from")
+        if other._data is None:
+            self._data = None
+        else:
+            self.data[:] = other._data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "materialized" if self.materialized else "zero"
+        return f"<Frame #{self.index} {state}>"
+
+
+class PhysicalMemory:
+    """A pool of physical page frames with a simple free-list allocator.
+
+    Parameters
+    ----------
+    total_bytes:
+        Size of simulated physical memory.  Must be a multiple of
+        ``page_size``.
+    page_size:
+        Frame size in bytes (default 4 KiB, like the paper's x86 targets).
+    """
+
+    def __init__(self, total_bytes: int, page_size: int = 4096):
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise VMError(f"page_size must be a power of two, got {page_size}")
+        if total_bytes % page_size:
+            raise VMError("total_bytes must be a multiple of page_size")
+        self.page_size = page_size
+        self.total_frames = total_bytes // page_size
+        self._frames: dict[int, Frame] = {}
+        self._next_unused = 0
+        self._free: list[int] = []
+        #: Cumulative allocation statistics (never reset by free()).
+        self.frames_allocated_ever = 0
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        """Total simulated physical capacity in bytes."""
+        return self.total_frames * self.page_size
+
+    @property
+    def frames_in_use(self) -> int:
+        """Number of currently-allocated frames."""
+        return self._next_unused - len(self._free)
+
+    @property
+    def bytes_in_use(self) -> int:
+        """Bytes of physical memory currently allocated."""
+        return self.frames_in_use * self.page_size
+
+    @property
+    def frames_free(self) -> int:
+        """Number of frames still available."""
+        return self.total_frames - self.frames_in_use
+
+    # -- allocation --------------------------------------------------------
+
+    def allocate_frame(self) -> Frame:
+        """Allocate one zeroed frame.
+
+        Raises
+        ------
+        OutOfPhysicalMemory
+            If the pool is exhausted.
+        """
+        if self._free:
+            index = self._free.pop()
+            frame = self._frames[index]
+            frame.zero()
+            frame.allocated = True
+            frame.refcount = 1
+        else:
+            if self._next_unused >= self.total_frames:
+                raise OutOfPhysicalMemory(
+                    f"physical memory exhausted: {self.total_frames} frames "
+                    f"({self.total_bytes} bytes) all in use"
+                )
+            index = self._next_unused
+            self._next_unused += 1
+            frame = Frame(index, self.page_size)
+            self._frames[index] = frame
+        self.frames_allocated_ever += 1
+        return frame
+
+    def allocate_frames(self, count: int) -> list[Frame]:
+        """Allocate ``count`` frames, all-or-nothing."""
+        if count > self.frames_free:
+            raise OutOfPhysicalMemory(
+                f"requested {count} frames but only {self.frames_free} free"
+            )
+        return [self.allocate_frame() for _ in range(count)]
+
+    def free_frame(self, frame: Frame) -> None:
+        """Return a frame to the pool."""
+        if frame.pinned:
+            raise VMError(f"cannot free pinned frame #{frame.index}")
+        if self._frames.get(frame.index) is not frame:
+            raise VMError(f"frame #{frame.index} does not belong to this pool")
+        if not frame.allocated:
+            raise VMError(f"double free of frame #{frame.index}")
+        if frame.refcount > 1:
+            # A shared (COW) frame: drop one owner, keep the memory.
+            frame.refcount -= 1
+            return
+        frame.zero()
+        frame.allocated = False
+        self._free.append(frame.index)
+
+    def share_frame(self, frame: Frame) -> Frame:
+        """Add an owner to a frame (copy-on-write sharing)."""
+        if self._frames.get(frame.index) is not frame or not frame.allocated:
+            raise VMError(f"cannot share frame #{frame.index}")
+        frame.refcount += 1
+        return frame
+
+    def free_frames(self, frames: list[Frame]) -> None:
+        """Return several frames to the pool."""
+        for f in frames:
+            self.free_frame(f)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<PhysicalMemory {self.frames_in_use}/{self.total_frames} frames "
+                f"({self.page_size}B pages)>")

@@ -1,0 +1,107 @@
+"""Cube-decomposition molecular-dynamics-like workload (Sections 1, 4.4).
+
+The BigSim experiment of Figure 11 simulates "a Blue Gene like machine with
+200,000 processors running a molecular dynamics (MD) simulation code".  The
+structure that matters for the flows-of-control study is: the molecular
+space is decomposed into cubes, one per target processor; each timestep
+computes forces over the cube's atoms and exchanges boundary atoms with the
+six face neighbors on a 3-D torus.
+
+Atom counts per cell are deterministic pseudo-random (a hash of the cell
+index), giving the mild density variation of real MD without a random seed
+dependence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["MDConfig", "MDWorkload"]
+
+
+@dataclass(frozen=True)
+class MDConfig:
+    """MD target-application parameters."""
+
+    dims: Tuple[int, int, int] = (10, 10, 20)    # target torus (2000 procs)
+    mean_atoms_per_cell: int = 500
+    atom_jitter: float = 0.3                     # ±30% density variation
+    ns_per_atom_step: float = 60.0               # force computation cost
+    bytes_per_boundary_atom: float = 48.0        # ghost-exchange payload
+    #: "hash" = uncorrelated per-cell jitter; "gradient" = a dense region
+    #: at low z (a droplet), giving *spatially correlated* imbalance that
+    #: locality-preserving blocked placements actually feel.
+    density_profile: str = "hash"
+    #: Fraction of a cell's atoms near each face.
+    boundary_fraction: float = 0.15
+
+    @property
+    def num_cells(self) -> int:
+        """Total target processors (= cells)."""
+        x, y, z = self.dims
+        return x * y * z
+
+
+class MDWorkload:
+    """Per-cell work and communication laws for the MD application."""
+
+    def __init__(self, cfg: MDConfig):
+        if cfg.num_cells <= 0:
+            raise ReproError("MD needs at least one cell")
+        self.cfg = cfg
+
+    # -- topology -------------------------------------------------------------
+
+    def coords(self, cell: int) -> Tuple[int, int, int]:
+        """Cell index -> (x, y, z) on the torus."""
+        x, y, z = self.cfg.dims
+        return (cell % x, (cell // x) % y, cell // (x * y))
+
+    def index(self, cx: int, cy: int, cz: int) -> int:
+        """(x, y, z) -> cell index (wrapping torus coordinates)."""
+        x, y, z = self.cfg.dims
+        return (cx % x) + (cy % y) * x + (cz % z) * x * y
+
+    def neighbors(self, cell: int) -> List[int]:
+        """The six face neighbors on the 3-D torus (deduplicated)."""
+        cx, cy, cz = self.coords(cell)
+        out = []
+        for dx, dy, dz in ((1, 0, 0), (-1, 0, 0), (0, 1, 0),
+                           (0, -1, 0), (0, 0, 1), (0, 0, -1)):
+            n = self.index(cx + dx, cy + dy, cz + dz)
+            if n != cell and n not in out:
+                out.append(n)
+        return out
+
+    # -- per-cell laws -----------------------------------------------------
+
+    def atoms(self, cell: int) -> int:
+        """Deterministic atom count for a cell (see ``density_profile``)."""
+        cfg = self.cfg
+        if cfg.density_profile == "gradient":
+            _, _, cz = self.coords(cell)
+            z = cfg.dims[2]
+            # Linear droplet: densest slab at z=0, sparsest at the far end.
+            frac = 1.0 - (cz / max(1, z - 1))
+            scale = 1.0 + cfg.atom_jitter * (2.0 * frac - 1.0)
+            return max(1, int(cfg.mean_atoms_per_cell * scale))
+        # "hash": uncorrelated per-cell jitter via an integer hash.
+        h = (cell * 2654435761) & 0xFFFFFFFF
+        u = (h / 0xFFFFFFFF) * 2.0 - 1.0
+        return max(1, int(cfg.mean_atoms_per_cell * (1.0 + cfg.atom_jitter * u)))
+
+    def compute_ns(self, cell: int) -> float:
+        """Target nanoseconds of force computation per timestep."""
+        return self.atoms(cell) * self.cfg.ns_per_atom_step
+
+    def ghost_bytes(self, cell: int) -> int:
+        """Bytes sent to each face neighbor per timestep."""
+        return int(self.atoms(cell) * self.cfg.boundary_fraction
+                   * self.cfg.bytes_per_boundary_atom)
+
+    def total_compute_ns(self) -> float:
+        """Aggregate target work per timestep over the whole machine."""
+        return sum(self.compute_ns(c) for c in range(self.cfg.num_cells))

@@ -1,0 +1,72 @@
+"""Property tests for the binomial-tree collectives.
+
+The tree algorithms must agree with the obvious reference for every world
+size (especially non-powers-of-two) and every root.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ampi import AmpiRuntime
+
+
+@given(size=st.integers(min_value=1, max_value=13),
+       root=st.integers(min_value=0, max_value=12))
+@settings(max_examples=25, deadline=None)
+def test_bcast_any_size_any_root(size, root):
+    root %= size
+    out = {}
+
+    def main(mpi):
+        data = {"origin": root} if mpi.rank == root else None
+        out[mpi.rank] = (yield from mpi.bcast(data, root=root))
+
+    AmpiRuntime(2, size, main, slot_bytes=64 * 1024,
+                stack_bytes=8 * 1024).run()
+    assert out == {r: {"origin": root} for r in range(size)}
+
+
+@given(size=st.integers(min_value=1, max_value=13),
+       root=st.integers(min_value=0, max_value=12))
+@settings(max_examples=25, deadline=None)
+def test_reduce_any_size_any_root(size, root):
+    root %= size
+    out = {}
+
+    def main(mpi):
+        out[mpi.rank] = (yield from mpi.reduce(mpi.rank + 1, op="sum",
+                                               root=root))
+
+    AmpiRuntime(2, size, main, slot_bytes=64 * 1024,
+                stack_bytes=8 * 1024).run()
+    assert out[root] == size * (size + 1) // 2
+    assert all(out[r] is None for r in range(size) if r != root)
+
+
+@given(size=st.integers(min_value=1, max_value=11))
+@settings(max_examples=15, deadline=None)
+def test_allreduce_and_barrier_any_size(size):
+    out = {}
+
+    def main(mpi):
+        yield from mpi.barrier()
+        out[mpi.rank] = (yield from mpi.allreduce(2 ** mpi.rank, op="sum"))
+        yield from mpi.barrier()
+
+    AmpiRuntime(3, size, main, slot_bytes=64 * 1024,
+                stack_bytes=8 * 1024).run()
+    assert all(v == 2 ** size - 1 for v in out.values())
+
+
+def test_reduce_fold_order_deterministic():
+    """Two identical runs reduce float values to bit-identical results."""
+    def make_main(out):
+        def main(mpi):
+            out[mpi.rank] = (yield from mpi.reduce(0.1 * (mpi.rank + 1),
+                                                   op="sum", root=0))
+        return main
+
+    a, b = {}, {}
+    AmpiRuntime(2, 7, make_main(a)).run()
+    AmpiRuntime(2, 7, make_main(b)).run()
+    assert a[0] == b[0]

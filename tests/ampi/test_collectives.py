@@ -1,0 +1,172 @@
+"""Tests for AMPI collectives."""
+
+import numpy as np
+import pytest
+
+from repro.ampi import AmpiRuntime
+from repro.errors import AmpiError
+
+
+def run_world(main, num_procs=2, num_ranks=4, **kw):
+    rt = AmpiRuntime(num_procs, num_ranks, main, **kw)
+    rt.run()
+    return rt
+
+
+def test_barrier_orders_phases():
+    log = []
+
+    def main(mpi):
+        log.append(("pre", mpi.rank))
+        yield from mpi.barrier()
+        log.append(("post", mpi.rank))
+
+    run_world(main, num_ranks=4)
+    pres = [i for i, e in enumerate(log) if e[0] == "pre"]
+    posts = [i for i, e in enumerate(log) if e[0] == "post"]
+    assert max(pres) < min(posts)
+
+
+def test_bcast():
+    out = {}
+
+    def main(mpi):
+        data = {"config": 42} if mpi.rank == 0 else None
+        data = yield from mpi.bcast(data, root=0)
+        out[mpi.rank] = data
+
+    run_world(main, num_ranks=5, num_procs=3)
+    assert all(v == {"config": 42} for v in out.values())
+    assert len(out) == 5
+
+
+def test_bcast_nonzero_root():
+    out = {}
+
+    def main(mpi):
+        data = "seed" if mpi.rank == 2 else None
+        out[mpi.rank] = yield from mpi.bcast(data, root=2)
+
+    run_world(main, num_ranks=4)
+    assert all(v == "seed" for v in out.values())
+
+
+def test_reduce_sum():
+    out = {}
+
+    def main(mpi):
+        r = yield from mpi.reduce(mpi.rank + 1, op="sum", root=0)
+        out[mpi.rank] = r
+
+    run_world(main, num_ranks=6)
+    assert out[0] == 21
+    assert all(out[r] is None for r in range(1, 6))
+
+
+@pytest.mark.parametrize("op,values,expected", [
+    ("max", [3, 1, 9, 2], 9),
+    ("min", [3, 1, 9, 2], 1),
+    ("prod", [1, 2, 3, 4], 24),
+    ("land", [1, 1, 1, 1], True),
+    ("lor", [0, 0, 1, 0], True),
+])
+def test_reduce_ops(op, values, expected):
+    out = {}
+
+    def main(mpi):
+        out[mpi.rank] = yield from mpi.reduce(values[mpi.rank], op=op, root=0)
+
+    run_world(main, num_ranks=4)
+    assert out[0] == expected
+
+
+def test_allreduce():
+    out = {}
+
+    def main(mpi):
+        out[mpi.rank] = (yield from mpi.allreduce(mpi.rank, op="max"))
+
+    run_world(main, num_ranks=5)
+    assert out == {r: 4 for r in range(5)}
+
+
+def test_allreduce_numpy():
+    out = {}
+
+    def main(mpi):
+        v = np.full(4, float(mpi.rank))
+        out[mpi.rank] = (yield from mpi.allreduce(v, op="sum"))
+
+    run_world(main, num_ranks=3)
+    for r in range(3):
+        np.testing.assert_array_equal(out[r], np.full(4, 3.0))
+
+
+def test_gather_and_allgather():
+    out = {}
+
+    def main(mpi):
+        g = yield from mpi.gather(mpi.rank ** 2, root=1)
+        ag = yield from mpi.allgather(mpi.rank * 10)
+        out[mpi.rank] = (g, ag)
+
+    run_world(main, num_ranks=4)
+    assert out[1][0] == [0, 1, 4, 9]
+    assert out[0][0] is None
+    assert all(out[r][1] == [0, 10, 20, 30] for r in range(4))
+
+
+def test_scatter():
+    out = {}
+
+    def main(mpi):
+        values = [f"piece{r}" for r in range(mpi.size)] if mpi.rank == 0 else None
+        out[mpi.rank] = (yield from mpi.scatter(values, root=0))
+
+    run_world(main, num_ranks=4)
+    assert out == {r: f"piece{r}" for r in range(4)}
+
+
+def test_scatter_wrong_length():
+    def main(mpi):
+        values = [1, 2] if mpi.rank == 0 else None
+        yield from mpi.scatter(values, root=0)
+
+    with pytest.raises(AmpiError):
+        run_world(main, num_ranks=4)
+
+
+def test_alltoall():
+    out = {}
+
+    def main(mpi):
+        values = [(mpi.rank, dst) for dst in range(mpi.size)]
+        out[mpi.rank] = (yield from mpi.alltoall(values))
+
+    run_world(main, num_ranks=4)
+    for r in range(4):
+        assert out[r] == [(src, r) for src in range(4)]
+
+
+def test_repeated_collectives_do_not_crosstalk():
+    out = {}
+
+    def main(mpi):
+        acc = []
+        for i in range(5):
+            acc.append((yield from mpi.allreduce(i * (mpi.rank + 1), op="sum")))
+            yield from mpi.barrier()
+        out[mpi.rank] = acc
+
+    run_world(main, num_ranks=3)
+    expected = [i * 6 for i in range(5)]    # sum over ranks of i*(r+1)
+    assert all(v == expected for v in out.values())
+
+
+def test_collectives_charge_network_time():
+    def main(mpi):
+        yield from mpi.allreduce(np.zeros(1000), op="sum")
+
+    rt = run_world(main, num_procs=4, num_ranks=4)
+    assert rt.makespan_ns > 0
+    assert sum(p.messages_sent for p in rt.cluster.processors) > 0

@@ -1,0 +1,199 @@
+"""Tests for MPI_Migrate and load balancing through the AMPI runtime."""
+
+import pytest
+
+from repro.ampi import AmpiRuntime
+from repro.balance import GreedyLB, NullLB, RandomLB, RefineLB, RotateLB
+from repro.balance.instrument import LBDatabase
+from repro.balance.manager import LBManager
+
+
+def test_migrate_collective_rebalances_uneven_load():
+    """Ranks with wildly uneven work end up spread by GreedyLB."""
+    placements = {}
+
+    def main(mpi):
+        # Ranks 0 and 2 are heavy and both start on PE 0 (round-robin over
+        # 2 PEs), so PE 0 is overloaded until the migrate point.
+        work = 1_000_000.0 if mpi.rank in (0, 2) else 10_000.0
+        mpi.charge(work)
+        yield from mpi.migrate()
+        placements[mpi.rank] = mpi.my_pe
+        yield from mpi.barrier()
+
+    rt = AmpiRuntime(2, 8, main, strategy=GreedyLB(),
+                     slot_bytes=128 * 1024, stack_bytes=8 * 1024)
+    rt.run()
+    assert len(rt.reports) == 1
+    report = rt.reports[0]
+    assert report.imbalance_before > 1.5
+    assert report.migrations > 0
+    # GreedyLB must split the two heavy ranks across processors.
+    assert placements[0] != placements[2]
+    assert report.imbalance_after < report.imbalance_before
+
+
+def test_nulllb_never_migrates():
+    def main(mpi):
+        mpi.charge(1000.0 * (mpi.rank + 1))
+        yield from mpi.migrate()
+
+    rt = AmpiRuntime(2, 6, main, strategy=NullLB())
+    rt.run()
+    assert rt.reports[0].migrations == 0
+    assert rt.pe_of_ranks() == [r % 2 for r in range(6)]
+
+
+def test_rank_messaging_works_after_migration():
+    """Point-to-point continues transparently across a migration."""
+    out = {}
+
+    def main(mpi):
+        mpi.charge(1_000_000.0 if mpi.rank == 0 else 1_000.0)
+        yield from mpi.migrate()
+        # Exchange messages after everyone potentially moved.
+        peer = (mpi.rank + 1) % mpi.size
+        mpi.send(peer, ("hello", mpi.rank))
+        src = (mpi.rank - 1) % mpi.size
+        out[mpi.rank] = yield from mpi.recv(source=src)
+
+    rt = AmpiRuntime(3, 6, main, strategy=GreedyLB())
+    rt.run()
+    for r in range(6):
+        assert out[r] == ("hello", (r - 1) % 6)
+
+
+def test_multiple_migrate_rounds():
+    rounds = []
+
+    def main(mpi):
+        for it in range(3):
+            mpi.charge(10_000.0 * (1 + (mpi.rank + it) % 4))
+            yield from mpi.migrate()
+        rounds.append(mpi.rank)
+
+    rt = AmpiRuntime(2, 8, main, strategy=RefineLB())
+    rt.run()
+    assert len(rt.reports) == 3
+    assert sorted(rounds) == list(range(8))
+
+
+def test_migration_moves_thread_state():
+    """A rank's migratable heap data survives LB-driven migration."""
+    out = {}
+
+    def main(mpi):
+        th = mpi.thread
+        cell = th.malloc(8)
+        th.write_word(cell, 4242 + mpi.rank)
+        mpi.charge(1_000_000.0 if mpi.rank % 4 == 0 else 500.0)
+        yield from mpi.migrate()
+        out[mpi.rank] = th.read_word(cell)
+
+    rt = AmpiRuntime(2, 8, main, strategy=GreedyLB())
+    rt.run()
+    assert out == {r: 4242 + r for r in range(8)}
+    assert rt.migrator.migrations_completed > 0
+
+
+def test_lb_makespan_improves_with_greedy():
+    """The Figure 12 effect in miniature: same program, LB vs no LB."""
+    def make_main():
+        def main(mpi):
+            for _ in range(4):
+                # All heavy work piles onto even ranks -> PE 0 under
+                # round-robin placement on 2 PEs.
+                heavy = mpi.rank % 2 == 0
+                mpi.charge(2_000_000.0 if heavy else 50_000.0)
+                yield from mpi.migrate()
+        return main
+
+    rt_no = AmpiRuntime(2, 8, make_main(), strategy=NullLB())
+    rt_no.run()
+    rt_lb = AmpiRuntime(2, 8, make_main(), strategy=GreedyLB())
+    rt_lb.run()
+    assert rt_lb.makespan_ns < rt_no.makespan_ns
+
+
+# -- strategy unit tests ------------------------------------------------------
+
+def test_greedy_lb_balances_perfectly_divisible():
+    loads = {i: 10.0 for i in range(8)}
+    out = GreedyLB().map_objects(loads, {i: 0 for i in range(8)}, 4)
+    per_pe = [sum(loads[o] for o, p in out.items() if p == pe)
+              for pe in range(4)]
+    assert per_pe == [20.0] * 4
+
+
+def test_greedy_lb_lpt_quality():
+    loads = {"a": 7.0, "b": 5.0, "c": 4.0, "d": 4.0, "e": 2.0}
+    out = GreedyLB().map_objects(loads, {}, 2)
+    per_pe = [sum(loads[o] for o, p in out.items() if p == pe)
+              for pe in range(2)]
+    assert max(per_pe) == 11.0            # LPT optimum for this instance
+
+
+def test_refine_lb_moves_few_objects():
+    loads = {i: 1.0 for i in range(16)}
+    loads[0] = 8.0
+    current = {i: i % 4 for i in range(16)}
+    out = RefineLB(tolerance=1.3).map_objects(loads, current, 4)
+    moves = sum(1 for o in loads if out[o] != current[o])
+    greedy_moves = sum(
+        1 for o in loads
+        if GreedyLB().map_objects(loads, current, 4)[o] != current[o])
+    assert moves <= greedy_moves
+    # Refine improved the max load.
+    def maxload(placement):
+        per = [0.0] * 4
+        for o, p in placement.items():
+            per[p] += loads[o]
+        return max(per)
+    assert maxload(out) < maxload(current)
+
+
+def test_rotate_lb():
+    out = RotateLB().map_objects({0: 1.0, 1: 1.0}, {0: 0, 1: 3}, 4)
+    assert out == {0: 1, 1: 0}
+
+
+def test_random_lb_deterministic():
+    loads = {i: 1.0 for i in range(10)}
+    a = RandomLB(seed=7).map_objects(loads, {}, 4)
+    b = RandomLB(seed=7).map_objects(loads, {}, 4)
+    assert a == b
+    assert all(0 <= p < 4 for p in a.values())
+
+
+def test_lb_manager_rejects_incomplete_strategy():
+    class Broken(GreedyLB):
+        def map_objects(self, loads, current, npes):
+            out = super().map_objects(loads, current, npes)
+            out.popitem()
+            return out
+
+    db = LBDatabase(2)
+    db.register("x", 0)
+    db.register("y", 1)
+    db.record("x", 5.0)
+    db.record("y", 5.0)
+    mgr = LBManager(db, Broken(), lambda o, p: None)
+    with pytest.raises(ValueError):
+        mgr.rebalance()
+
+
+def test_lb_database_accounting():
+    db = LBDatabase(2)
+    db.register("a", 0)
+    db.register("b", 0)
+    db.register("c", 1)
+    db.record("a", 10.0)
+    db.record("b", 30.0)
+    db.record("c", 20.0)
+    assert db.pe_loads() == [40.0, 20.0]
+    assert db.imbalance() == pytest.approx(40.0 / 30.0)
+    db.moved("b", 1)
+    assert db.pe_loads() == [10.0, 50.0]
+    db.reset_loads()
+    assert db.pe_loads() == [0.0, 0.0]
+    assert db.epoch == 1

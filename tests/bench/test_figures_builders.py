@@ -1,0 +1,68 @@
+"""Small-scale tests of the figure builders (benches run them full-size)."""
+
+import os
+
+import pytest
+
+from repro.bench.figures import (FIGURE_PLATFORMS, bigsim_series, btmz_series,
+                                 context_switch_series, full_scale,
+                                 minimal_swap_rows, stack_size_series)
+
+
+def test_figure_platform_map():
+    assert FIGURE_PLATFORMS == {4: "linux_x86", 5: "mac_g5", 6: "solaris",
+                                7: "ibm_sp", 8: "alpha"}
+
+
+def test_full_scale_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    assert not full_scale()
+    monkeypatch.setenv("REPRO_FULL", "1")
+    assert full_scale()
+    monkeypatch.setenv("REPRO_FULL", "0")
+    assert not full_scale()
+
+
+def test_context_switch_series_small_grid():
+    xs, series = context_switch_series("linux_x86", grid=[2, 8, 300],
+                                       rounds=1)
+    assert xs == [2, 8, 300]
+    assert set(series) == {"process", "pthread", "cth", "ampi"}
+    # pthread dies at its 250 limit before the 300-flow point.
+    assert series["pthread"][-1] is None
+    assert series["cth"][-1] is not None
+    # Series are per-switch microseconds: sub-100 here.
+    assert 0 < series["cth"][0] < 100
+
+
+def test_stack_size_series_ordering():
+    sizes, series = stack_size_series(sizes=[8192, 65536])
+    assert series["isomalloc"][0] == series["isomalloc"][1]
+    assert series["stack_copy"][1] > series["stack_copy"][0]
+    assert series["stack_copy"][1] > series["memory_alias"][1]
+
+
+def test_minimal_swap_rows_scale_with_clock():
+    slow = minimal_swap_rows(cpu_ghz=1.1)
+    fast = minimal_swap_rows(cpu_ghz=2.2)
+    # Rendered to one decimal, so compare loosely.
+    assert float(slow[0][4]) == pytest.approx(2 * float(fast[0][4]), rel=0.02)
+
+
+def test_bigsim_series_tiny(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    procs, series, targets = bigsim_series(host_procs=(2, 4), steps=1)
+    assert procs == [2, 4]
+    assert targets == 2000
+    times = series["time_per_step_ms"]
+    assert times[0] > times[1]
+
+
+def test_btmz_series_single_case():
+    out = btmz_series(cases=[("S", 4, 2)], iterations=2)
+    assert len(out) == 1
+    label, no_lb, with_lb = out[0]
+    assert label == "S.4,2PE"
+    assert no_lb.strategy == "NullLB"
+    assert with_lb.strategy == "GreedyLB"
+    assert with_lb.makespan_ns <= no_lb.makespan_ns * 1.2

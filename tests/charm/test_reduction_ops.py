@@ -1,0 +1,39 @@
+"""Tests for the reduction operator table."""
+
+import pytest
+
+from repro.charm.reduction import REDUCERS, combine
+from repro.errors import CommError
+
+
+def test_builtin_reducers():
+    assert combine("sum", [1, 2, 3]) == 6
+    assert combine("max", [3, 9, 1]) == 9
+    assert combine("min", [3, 9, 1]) == 1
+    assert combine("prod", [2, 3, 4]) == 24
+    assert combine("and", [1, 1, 0]) is False
+    assert combine("or", [0, 0, 1]) is True
+
+
+def test_concat_preserves_order():
+    assert combine("concat", ["a", "b", "c"]) == ["a", "b", "c"]
+    assert combine("concat", [1]) == [1]
+
+
+def test_unknown_op():
+    with pytest.raises(CommError, match="known"):
+        combine("xor", [1, 2])
+
+
+def test_empty_contributions():
+    with pytest.raises(CommError):
+        combine("sum", [])
+
+
+def test_single_value():
+    for op in ("sum", "max", "min", "prod"):
+        assert combine(op, [7]) == 7
+
+
+def test_reducer_table_complete():
+    assert {"sum", "max", "min", "prod", "and", "or", "concat"} <= set(REDUCERS)

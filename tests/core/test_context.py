@@ -1,0 +1,107 @@
+"""Tests for register files and the Figure 10 minimal swap routines."""
+
+import pytest
+
+from repro.core.context import (CALLEE_SAVED, MinimalSwap, RegisterFile,
+                                SWAP32, SWAP64)
+from repro.errors import ThreadError
+from repro.vm import AddressSpace, AddressSpaceLayout, PhysicalMemory
+from repro.vm.layout import MB
+
+
+def test_register_file_names():
+    r32 = RegisterFile("x86_32")
+    assert set(r32.regs) == {"ebp", "ebx", "esi", "edi", "sp"}
+    r64 = RegisterFile("x86_64")
+    assert "r15" in r64.regs and "rdi" in r64.regs
+
+
+def test_register_file_masks_to_word():
+    r = RegisterFile("x86_32")
+    r["ebx"] = 0x1_2345_6789
+    assert r["ebx"] == 0x2345_6789
+
+
+def test_register_file_rejects_unknown():
+    r = RegisterFile("x86_32")
+    with pytest.raises(KeyError):
+        r["r15"]
+    with pytest.raises(ThreadError):
+        r["r15"] = 1
+    with pytest.raises(ThreadError):
+        RegisterFile("sparc")
+
+
+def test_swap_instruction_counts_match_figure10():
+    """Figure 10(a) is 13 instructions; (b) is 17."""
+    assert SWAP32.instruction_count == 13
+    assert SWAP64.instruction_count == 17
+    # 64-bit saves more registers (7 callee-saved vs 4).
+    assert len(CALLEE_SAVED["x86_64"]) > len(CALLEE_SAVED["x86_32"])
+
+
+def test_swap_cost_matches_paper_order():
+    """16 ns (32-bit) and 18 ns (64-bit) on a 2.2 GHz Athlon64."""
+    t32 = SWAP32.cost_ns(2.2)
+    t64 = SWAP64.cost_ns(2.2)
+    assert 10 < t32 < 22
+    assert 14 < t64 < 26
+    assert t64 > t32                      # more registers -> slower
+
+
+def test_swap_executes_roundtrip():
+    """Two contexts swap back and forth; register values follow the stacks."""
+    pm = PhysicalMemory(4 * MB)
+    sp_layout = AddressSpaceLayout.small32()
+    space = AddressSpace(sp_layout, pm)
+    stacks = space.mmap(2 * 4096, region="stack")
+    ctx = space.mmap(4096, region="data")
+    ctx_a, ctx_b = ctx.start, ctx.start + 8
+
+    regs = RegisterFile("x86_32")
+    # Context B starts seeded with recognizable register values.
+    MinimalSwap.seed_context(space, "x86_32", ctx_b,
+                             stacks.start + 8192,
+                             [("ebx", 0xB), ("esi", 0x51)])
+    regs["sp"] = stacks.start + 4096
+    regs["ebx"] = 0xA
+    SWAP32.execute(space, regs, ctx_a, ctx_b)
+    # Now running "context B": its seeded registers are live.
+    assert regs["ebx"] == 0xB
+    assert regs["esi"] == 0x51
+    # Change a register, swap back to A, and A's value reappears.
+    regs["ebx"] = 0xBB
+    SWAP32.execute(space, regs, ctx_b, ctx_a)
+    assert regs["ebx"] == 0xA
+    # And B's modified value is preserved for the next swap in.
+    SWAP32.execute(space, regs, ctx_a, ctx_b)
+    assert regs["ebx"] == 0xBB
+
+
+def test_swap_arch_mismatch_rejected():
+    pm = PhysicalMemory(1 * MB)
+    space = AddressSpace(AddressSpaceLayout.small32(), pm)
+    regs = RegisterFile("x86_64")
+    with pytest.raises(ThreadError):
+        SWAP32.execute(space, regs, 0, 0)
+    with pytest.raises(ThreadError):
+        MinimalSwap("vax")
+
+
+def test_all_swap_instructions_are_memory_ops():
+    """Every instruction in Figure 10 touches memory (push/pop/mov-mem/ret)."""
+    assert SWAP32.memory_ops == SWAP32.instruction_count
+    assert SWAP64.memory_ops == SWAP64.instruction_count
+
+
+def test_swap64_roundtrip():
+    pm = PhysicalMemory(4 * MB)
+    space = AddressSpace(AddressSpaceLayout.large64(), pm)
+    stacks = space.mmap(2 * 4096, region="stack")
+    ctx = space.mmap(4096, region="data")
+    regs = RegisterFile("x86_64")
+    MinimalSwap.seed_context(space, "x86_64", ctx.start + 16,
+                             stacks.start + 8192, [("r12", 123)])
+    regs["sp"] = stacks.start + 4096
+    SWAP64.execute(space, regs, ctx.start, ctx.start + 16)
+    assert regs["r12"] == 123

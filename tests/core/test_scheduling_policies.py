@@ -1,0 +1,191 @@
+"""Tests for priority scheduling and blocking-call handling."""
+
+import pytest
+
+from repro.core import CthScheduler, IsomallocArena, IsomallocStacks
+from repro.errors import SchedulerError
+from repro.sim import Cluster
+from tests.core.conftest import make_cluster
+
+
+def make_sched(policy="fifo", io_mode="intercept", n=1):
+    cl = Cluster(n)
+    arena = IsomallocArena(cl.platform.layout(), n, slot_bytes=128 * 1024)
+    mgr = IsomallocStacks(cl[0].space, cl.platform, arena, 0,
+                          stack_bytes=8 * 1024)
+    return cl, CthScheduler(cl[0], mgr, policy=policy, io_mode=io_mode)
+
+
+# -- priority scheduling ------------------------------------------------------
+
+def test_priority_policy_orders_by_priority():
+    """Section 2.3: 'the application's priority structure can be directly
+    used by the thread scheduler'."""
+    cl, sched = make_sched(policy="priority")
+    order = []
+
+    def body(th, tag):
+        order.append(tag)
+        yield "yield"
+        order.append(tag)
+
+    sched.create(lambda th: body(th, "low"), priority=10)
+    sched.create(lambda th: body(th, "high"), priority=1)
+    sched.create(lambda th: body(th, "mid"), priority=5)
+    sched.run()
+    # Strict priorities: a yielding high-priority thread re-enters the
+    # queue ahead of lower priorities and runs to completion first.
+    assert order == ["high", "high", "mid", "mid", "low", "low"]
+
+
+def test_priority_stable_among_equals():
+    cl, sched = make_sched(policy="priority")
+    order = []
+
+    def body(th, tag):
+        order.append(tag)
+        yield "yield"
+
+    for tag in "abc":
+        sched.create(lambda th, tag=tag: body(th, tag), priority=3)
+    sched.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_fifo_ignores_priorities():
+    cl, sched = make_sched(policy="fifo")
+    order = []
+
+    def body(th, tag):
+        order.append(tag)
+        yield "yield"
+
+    sched.create(lambda th: body(th, "first"), priority=100)
+    sched.create(lambda th: body(th, "second"), priority=1)
+    sched.run()
+    assert order == ["first", "second"]
+
+
+def test_priority_awaken_respects_priority():
+    cl, sched = make_sched(policy="priority")
+    order = []
+
+    def sleeper(th, tag):
+        yield "suspend"
+        order.append(tag)
+
+    low = sched.create(lambda th: sleeper(th, "low"), priority=9)
+    high = sched.create(lambda th: sleeper(th, "high"), priority=1)
+    sched.run()
+    sched.awaken(low)
+    sched.awaken(high)
+    sched.run()
+    assert order == ["high", "low"]
+
+
+def test_unknown_policy_rejected():
+    cl = Cluster(1)
+    arena = IsomallocArena(cl.platform.layout(), 1)
+    mgr = IsomallocStacks(cl[0].space, cl.platform, arena, 0,
+                          stack_bytes=8 * 1024)
+    with pytest.raises(SchedulerError):
+        CthScheduler(cl[0], mgr, policy="lottery")
+    with pytest.raises(SchedulerError):
+        CthScheduler(cl[0], mgr, io_mode="dma")
+
+
+# -- blocking-call handling -----------------------------------------------------
+
+IO_NS = 1_000_000.0       # a 1 ms blocking call
+
+
+def run_io_world(io_mode):
+    """Two threads: one blocks on IO, the other has pure compute."""
+    cl, sched = make_sched(io_mode=io_mode)
+    log = []
+
+    def io_thread(th):
+        yield ("io", IO_NS)
+        log.append(("io-done", th.scheduler.processor.now))
+
+    def compute_thread(th):
+        th.charge(50_000)
+        log.append(("compute-done", th.scheduler.processor.now))
+        yield "yield"
+
+    sched.create(io_thread)
+    sched.create(compute_thread)
+    sched.run()
+    cl.run()          # deliver the IO completion timer
+    sched.run()
+    return cl, log
+
+
+def test_naive_io_blocks_the_whole_processor():
+    """Section 2.3's disadvantage: the kernel suspends the whole process,
+    'even though another user-level thread might be ready to run'."""
+    cl, log = run_io_world("naive")
+    compute_t = dict(log)["compute-done"]
+    assert compute_t >= IO_NS               # compute waited out the IO
+
+
+def test_intercepting_runtime_overlaps_io():
+    """The smarter runtime layer: replace the blocking call, run another
+    user-level thread while it proceeds."""
+    cl, log = run_io_world("intercept")
+    compute_t = dict(log)["compute-done"]
+    io_t = dict(log)["io-done"]
+    assert compute_t < IO_NS                # compute ran during the IO
+    assert io_t >= IO_NS                    # IO still took its full time
+
+
+def test_io_makespan_advantage():
+    naive_cl, _ = run_io_world("naive")
+    smart_cl, _ = run_io_world("intercept")
+    assert smart_cl.makespan <= naive_cl.makespan
+
+
+def test_io_without_cluster_falls_back_to_naive():
+    from repro.core import IsomallocStacks as IS
+    from repro.sim import Processor, get_platform
+
+    proc = Processor(0, get_platform("linux_x86"))   # no cluster attached
+    arena = IsomallocArena(proc.layout, 1)
+    sched = CthScheduler(proc, IS(proc.space, proc.profile, arena, 0,
+                                  stack_bytes=8 * 1024))
+    done = []
+
+    def body(th):
+        yield ("io", 5000.0)
+        done.append(proc.now)
+
+    sched.create(body)
+    sched.run()
+    assert done and done[0] >= 5000.0
+
+
+def test_scheduler_activations_overlap_with_upcall_cost():
+    """Scheduler activations [3]: same overlap as interception, but each
+    block/unblock pays a kernel upcall."""
+    cl, log = run_io_world("activations")
+    compute_t = dict(log)["compute-done"]
+    assert compute_t < IO_NS                 # overlap achieved
+
+    # Activations cost two syscalls per blocking call vs interception.
+    cl_int, _ = run_io_world("intercept")
+    assert cl.makespan >= cl_int.makespan
+
+
+def test_activations_count_upcalls():
+    cl, sched = make_sched(io_mode="activations")
+
+    def body(th):
+        yield ("io", 1000.0)
+        yield ("io", 1000.0)
+
+    sched.create(body)
+    while sched.threads_finished < 1:
+        progressed = sched.run() > 0
+        progressed |= cl.run() > 0
+        assert progressed
+    assert sched.upcalls == 4               # 2 blocks x (block + unblock)

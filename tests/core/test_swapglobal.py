@@ -1,0 +1,149 @@
+"""Tests for GOT-based global-variable privatization."""
+
+import pytest
+
+from repro.core.swapglobal import GlobalOffsetTable, GlobalRegistry
+from repro.errors import ThreadError
+from repro.sim import get_platform
+from repro.vm import AddressSpace, PhysicalMemory
+from repro.vm.layout import MB
+
+
+def make_registry(decls=(("counter", 8), ("name", 16))):
+    space = AddressSpace(get_platform("linux_x86").layout(),
+                         PhysicalMemory(64 * MB))
+    reg = GlobalRegistry(space)
+    for name, size in decls:
+        reg.declare(name, size)
+    reg.build()
+    return reg, space
+
+
+def test_declare_and_access():
+    reg, _ = make_registry()
+    reg.write_int("counter", 41)
+    assert reg.read_int("counter") == 41
+    reg.write("name", b"hello")
+    assert reg.read("name")[:5] == b"hello"
+
+
+def test_declare_after_build_rejected():
+    reg, _ = make_registry()
+    with pytest.raises(ThreadError):
+        reg.declare("late", 8)
+
+
+def test_duplicate_and_bad_declarations():
+    space = AddressSpace(get_platform("linux_x86").layout(),
+                         PhysicalMemory(8 * MB))
+    reg = GlobalRegistry(space)
+    reg.declare("x", 8)
+    with pytest.raises(ThreadError):
+        reg.declare("x", 8)
+    with pytest.raises(ThreadError):
+        reg.declare("bad", 0)
+
+
+def test_unknown_global():
+    reg, _ = make_registry()
+    with pytest.raises(ThreadError):
+        reg.read_int("nonexistent")
+
+
+def test_value_overflow_rejected():
+    reg, _ = make_registry()
+    with pytest.raises(ThreadError):
+        reg.write("counter", b"123456789")   # 9 bytes into an 8-byte global
+
+
+def test_access_goes_through_got():
+    """Changing a GOT entry redirects access — the indirection is real."""
+    reg, space = make_registry()
+    reg.write_int("counter", 1)
+    # Point the GOT's counter slot somewhere else.
+    alt = space.mmap(4096, region="heap")
+    space.write_word(alt.start, 99)
+    image = reg.current_image()
+    image[reg.var("counter").index] = alt.start
+    reg.install_image(image)
+    assert reg.read_int("counter") == 99
+
+
+def test_privatization_isolates_threads():
+    """The paper's race: without private GOTs, threads share one counter."""
+    reg, space = make_registry()
+    heap = space.mmap(64 * 1024, region="heap")
+    cursor = [heap.start]
+
+    def alloc(n):
+        addr = cursor[0]
+        cursor[0] += (n + 15) // 16 * 16
+        return addr
+
+    reg.write_int("counter", 100)           # shared initial value
+    got_a = GlobalOffsetTable.privatize(reg, alloc)
+    got_b = GlobalOffsetTable.privatize(reg, alloc)
+
+    # Shared (no swap): both "threads" see the master value and race.
+    reg.write_int("counter", 5)
+    assert reg.read_int("counter") == 5     # B would see A's write
+
+    # Privatized: each image sees only its own storage.
+    got_a.swap_in()
+    reg.write_int("counter", 111)
+    got_b.swap_in()
+    assert reg.read_int("counter") == 100   # B inherited the value at privatize
+    reg.write_int("counter", 222)
+    got_a.swap_in()
+    assert reg.read_int("counter") == 111
+    got_b.swap_in()
+    assert reg.read_int("counter") == 222
+
+
+def test_privatize_copies_current_values():
+    reg, space = make_registry()
+    reg.write_int("counter", 77)
+    heap = space.mmap(4096, region="heap")
+    cursor = [heap.start]
+
+    def alloc(n):
+        addr = cursor[0]
+        cursor[0] += (n + 15) // 16 * 16
+        return addr
+
+    got = GlobalOffsetTable.privatize(reg, alloc)
+    got.swap_in()
+    assert reg.read_int("counter") == 77
+
+
+def test_swap_count_and_got_bytes():
+    reg, space = make_registry()
+    assert reg.got_bytes == 2 * 4           # two globals, 32-bit words
+    heap = space.mmap(4096, region="heap")
+    cursor = [heap.start]
+
+    def alloc(n):
+        a = cursor[0]
+        cursor[0] += 32
+        return a
+
+    got = GlobalOffsetTable.privatize(reg, alloc)
+    before = reg.swap_count
+    got.swap_in()
+    assert reg.swap_count == before + 1
+
+
+def test_install_wrong_length_rejected():
+    reg, _ = make_registry()
+    with pytest.raises(ThreadError):
+        reg.install_image([1, 2, 3])
+
+
+def test_empty_registry_builds():
+    space = AddressSpace(get_platform("linux_x86").layout(),
+                         PhysicalMemory(8 * MB))
+    reg = GlobalRegistry(space)
+    reg.build()
+    assert reg.got_bytes == 0
+    with pytest.raises(ThreadError):
+        reg.build()                          # double build rejected

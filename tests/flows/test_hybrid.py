@@ -1,0 +1,63 @@
+"""Tests for N:M hybrid threading."""
+
+import pytest
+
+from repro.errors import ThreadLimitExceeded
+from repro.flows import (HybridThreadFlow, KernelThreadFlow, ProcessFlow,
+                         UserThreadFlow)
+from repro.sim import Processor, get_platform
+
+
+def make_proc(platform="linux_x86"):
+    return Processor(0, get_platform(platform))
+
+
+def test_kernel_entities_are_real_pthreads():
+    p = make_proc()
+    mech = HybridThreadFlow(p, kernel_entities=4)
+    assert p.kernel.kthread_count == 4
+    mech.create_flow()
+    mech.create_flow()
+    assert p.kernel.kthread_count == 4      # N grows, M does not
+    mech.destroy_all()
+    mech.teardown()
+    assert p.kernel.kthread_count == 0
+
+
+def test_m_counts_against_pthread_limit():
+    p = make_proc("linux_x86")              # pthread limit 250
+    with pytest.raises(ThreadLimitExceeded):
+        HybridThreadFlow(p, kernel_entities=300)
+
+
+def test_cost_between_user_and_kernel():
+    p = make_proc()
+    n = 1000
+    user = UserThreadFlow(p).switch_cost_ns(n)
+    kernel = KernelThreadFlow(p).switch_cost_ns(n)
+    hybrid = HybridThreadFlow(p, kernel_entities=4).switch_cost_ns(n)
+    assert user < hybrid < kernel
+
+
+def test_more_kernel_entities_costlier_crossings():
+    """With more kernel entities, fewer switches cross them — but each
+    application sees the same two-party overhead."""
+    p = make_proc()
+    c2 = HybridThreadFlow(p, kernel_entities=2).switch_cost_ns(1000)
+    c8 = HybridThreadFlow(p, kernel_entities=8).switch_cost_ns(1000)
+    assert c8 < c2                           # 1/M fewer kernel switches
+
+
+def test_unbounded_n():
+    """N is not kernel-limited: far more flows than the pthread limit."""
+    p = make_proc()
+    mech = HybridThreadFlow(p, kernel_entities=4)
+    for _ in range(1_000):                   # >> the 250 pthread limit
+        mech.create_flow()
+    assert mech.n_flows == 1_000
+    mech.destroy_all()
+
+
+def test_invalid_m():
+    with pytest.raises(ThreadLimitExceeded):
+        HybridThreadFlow(make_proc(), kernel_entities=0)

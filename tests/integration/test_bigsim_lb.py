@@ -1,0 +1,73 @@
+"""BigSim + load balancing: the paper's two halves composed.
+
+BigSim motivates many flows per processor; thread migration fixes load
+imbalance.  A target machine with a spatially dense region (an MD
+"droplet") under the realistic locality-preserving blocked placement
+overloads the host processor that owns the dense slab; migrating the
+simulation's own threads fixes it — without changing the prediction.
+"""
+
+import pytest
+
+from repro.balance import GreedyLB
+from repro.bigsim import BigSimEngine, TargetMachine
+from repro.errors import ReproError
+from repro.workloads.md import MDConfig, MDWorkload
+
+
+def droplet_workload(dims=(4, 4, 8)):
+    """MD cells with a dense region at low z."""
+    return MDWorkload(MDConfig(dims=dims, atom_jitter=0.9,
+                               density_profile="gradient"))
+
+
+def test_gradient_density_is_spatial():
+    wl = droplet_workload()
+    dense = wl.atoms(wl.index(0, 0, 0))
+    sparse = wl.atoms(wl.index(0, 0, 7))
+    assert dense > 5 * sparse
+
+
+def test_bigsim_lb_improves_host_time():
+    wl = droplet_workload()
+    tgt = TargetMachine(dims=(4, 4, 8))
+    no_lb = BigSimEngine(4, tgt, wl, steps=6, placement="block").run()
+    with_lb = BigSimEngine(4, tgt, wl, steps=6, placement="block",
+                           strategy=GreedyLB(), lb_period=2).run()
+    assert with_lb.host_ns_per_step < 0.9 * no_lb.host_ns_per_step
+
+
+def test_bigsim_lb_does_not_change_prediction():
+    """Rebalancing the simulation must not alter the predicted target
+    time — the target machine did not change."""
+    wl = droplet_workload()
+    tgt = TargetMachine(dims=(4, 4, 8))
+    no_lb = BigSimEngine(4, tgt, wl, steps=4, placement="block").run()
+    with_lb = BigSimEngine(4, tgt, wl, steps=4, placement="block",
+                           strategy=GreedyLB(), lb_period=2).run()
+    assert with_lb.predicted_target_ns_per_step == pytest.approx(
+        no_lb.predicted_target_ns_per_step)
+
+
+def test_bigsim_lb_actually_migrates():
+    wl = droplet_workload()
+    eng = BigSimEngine(4, TargetMachine(dims=(4, 4, 8)), wl, steps=4,
+                       placement="block", strategy=GreedyLB(), lb_period=2)
+    eng.run()
+    assert eng.runtime.migrator.migrations_completed > 0
+    assert len(eng.runtime.reports) == 2         # steps 2 and 4
+
+
+def test_block_placement_is_contiguous():
+    wl = droplet_workload(dims=(2, 2, 4))
+    eng = BigSimEngine(2, TargetMachine(dims=(2, 2, 4)), wl, steps=1,
+                       placement="block")
+    pes = eng.runtime.pe_of_ranks()
+    assert pes == [0] * 8 + [1] * 8
+
+
+def test_unknown_placement_rejected():
+    wl = droplet_workload(dims=(2, 2, 2))
+    with pytest.raises(ReproError):
+        BigSimEngine(2, TargetMachine(dims=(2, 2, 2)), wl,
+                     placement="scatter")

@@ -1,0 +1,90 @@
+"""Determinism: identical runs produce bit-identical virtual outcomes.
+
+Everything in the library runs on virtual time with no wall-clock or RNG
+dependence, so re-running any simulation must reproduce every observable —
+makespans, placements, statistics — exactly.  These tests re-run each major
+subsystem twice and compare.
+"""
+
+from repro.ampi import AmpiRuntime
+from repro.balance import GreedyLB
+from repro.bigsim import BigSimEngine, TargetMachine
+from repro.core.pup import pup_register
+from repro.pose import PoseEngine, Poser
+from repro.sim import Cluster
+from repro.workloads.btmz import BTMZConfig, run_btmz
+from repro.workloads.md import MDConfig, MDWorkload
+
+
+def test_ampi_run_bit_identical():
+    def make():
+        def main(mpi):
+            mpi.charge(1e6 if mpi.rank % 3 == 0 else 5e4)
+            yield from mpi.migrate()
+            total = yield from mpi.allreduce(mpi.rank, op="sum")
+            yield from mpi.barrier()
+        rt = AmpiRuntime(3, 9, main, strategy=GreedyLB())
+        rt.run()
+        return (rt.makespan_ns, tuple(rt.pe_of_ranks()),
+                tuple(p.messages_sent for p in rt.cluster.processors),
+                rt.migrator.bytes_shipped)
+
+    assert make() == make()
+
+
+def test_btmz_run_bit_identical():
+    cfg = BTMZConfig("A", 8, 4, iterations=3)
+    a = run_btmz(cfg, GreedyLB())
+    b = run_btmz(cfg, GreedyLB())
+    assert a.makespan_ns == b.makespan_ns
+    assert a.migrations == b.migrations
+    assert a.imbalance_before == b.imbalance_before
+
+
+def test_bigsim_run_bit_identical():
+    def run():
+        wl = MDWorkload(MDConfig(dims=(3, 3, 3)))
+        res = BigSimEngine(2, TargetMachine(dims=(3, 3, 3)), wl,
+                           steps=2).run()
+        return (res.host_ns_per_step, res.predicted_target_ns_per_step)
+
+    assert run() == run()
+
+
+def test_pose_run_bit_identical():
+    @pup_register
+    class Det(Poser):
+        def __init__(self):
+            self.log = []
+
+        def pup(self, p):
+            self.log = p.list_double(self.log)
+
+        def on_e(self, data):
+            self.log.append(float(data))
+            if data < 6:
+                return [("det", "e", data + 1, 0.5)]
+            return []
+
+    def run():
+        cl = Cluster(2)
+        eng = PoseEngine(cl)
+        eng.register("det", Det(), 1)
+        for vt in (9.0, 3.0, 1.0):
+            eng.schedule("det", "e", vt, at=vt)
+        stats = eng.run()
+        return (tuple(eng.poser("det").log), stats.events_processed,
+                stats.rollbacks, cl.makespan)
+
+    assert run() == run()
+
+
+def test_table_and_figure_builders_bit_identical():
+    from repro.bench.figures import context_switch_series, stack_size_series
+    from repro.bench.tables import table1_rows
+
+    assert table1_rows() == table1_rows()
+    assert (context_switch_series("linux_x86", grid=[2, 64], rounds=1)
+            == context_switch_series("linux_x86", grid=[2, 64], rounds=1))
+    assert (stack_size_series(sizes=[8192, 32768])
+            == stack_size_series(sizes=[8192, 32768]))

@@ -1,0 +1,111 @@
+"""Converse-style interoperability: chares, AMPI, POSE on one cluster.
+
+The Converse reference [23] the paper builds on is explicitly about
+"multi-paradigm, multilingual interoperability" — different runtime
+paradigms coexisting on one machine.  Our layers share the cluster through
+the per-processor tag dispatcher, so an event-driven array, an AMPI world,
+and a Time-Warp simulation can run side by side; these tests pin that down.
+"""
+
+from repro.ampi import AmpiRuntime
+from repro.charm import Chare, CharmRuntime
+from repro.core.pup import pup_register
+from repro.pose import PoseEngine, Poser
+from repro.sim import Cluster
+
+
+def test_charm_and_ampi_share_a_cluster():
+    cluster = Cluster(2)
+    charm = CharmRuntime(cluster)
+
+    class Tally(Chare):
+        def __init__(self):
+            self.total = 0
+
+        def add(self, v):
+            self.total += v
+
+    tally = charm.create_array(Tally, 2)
+
+    # AMPI ranks do MPI work, then poke the chare array directly — the
+    # multi-paradigm handoff.
+    def main(mpi):
+        s = yield from mpi.allreduce(mpi.rank, op="sum")
+        tally[mpi.rank % 2].send("add", s)
+
+    ampi = AmpiRuntime(cluster, 4, main)
+    ampi.run()
+    cluster.run()
+    total = (charm.element(tally.aid, 0).total
+             + charm.element(tally.aid, 1).total)
+    assert total == 4 * sum(range(4))
+
+
+def test_three_paradigms_one_machine():
+    cluster = Cluster(2)
+    charm = CharmRuntime(cluster)
+
+    @pup_register
+    class Echo(Poser):
+        def __init__(self):
+            self.count = 0
+
+        def pup(self, p):
+            self.count = p.int(self.count)
+
+        def on_ping(self, data):
+            self.count += 1
+            return []
+
+    class Sink(Chare):
+        def __init__(self):
+            self.got = []
+
+        def take(self, v):
+            self.got.append(v)
+
+    sink = charm.create_array(Sink, 1)
+    pose = PoseEngine(cluster)
+    pose.register("echo", Echo(), 1)
+
+    def main(mpi):
+        yield from mpi.barrier()
+        if mpi.rank == 0:
+            sink[0].send("take", "from-ampi")
+            pose.schedule("echo", "ping", None, at=1.0)
+
+    AmpiRuntime(cluster, 2, main).run()
+    cluster.run()
+    assert charm.element(sink.aid, 0).got == ["from-ampi"]
+    assert pose.poser("echo").count == 1
+
+
+def test_thread_migration_does_not_disturb_charm_state():
+    """Migrating AMPI threads over a cluster hosting chares leaves the
+    chares' routing intact."""
+    from repro.balance import GreedyLB
+
+    cluster = Cluster(2)
+    charm = CharmRuntime(cluster)
+
+    class Counter(Chare):
+        def __init__(self):
+            self.n = 0
+
+        def bump(self):
+            self.n += 1
+
+    counters = charm.create_array(Counter, 4)
+
+    def main(mpi):
+        # Ranks 0 and 2 are heavy and both start on PE 0 (round-robin
+        # over 2 PEs), so the balancer must move something.
+        mpi.charge(1e6 if mpi.rank in (0, 2) else 1e4)
+        yield from mpi.migrate()
+        counters[mpi.rank % 4].send("bump")
+
+    ampi = AmpiRuntime(cluster, 8, main, strategy=GreedyLB())
+    ampi.run()
+    cluster.run()
+    assert ampi.migrator.migrations_completed > 0
+    assert sum(charm.element(counters.aid, i).n for i in range(4)) == 8

@@ -1,0 +1,104 @@
+"""Fuzzed lifecycle interleavings: migrate/checkpoint/evacuate/run.
+
+A thread's simulated state must survive *any* legal sequence of lifecycle
+operations.  Hypothesis drives random interleavings against a shadow model
+of the thread's heap contents.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Checkpointer
+from repro.core.thread import ThreadState
+from repro.errors import MigrationError
+from tests.core.conftest import make_cluster
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(0, 7),
+                  st.integers(0, 2**31)),
+        st.tuples(st.just("migrate"), st.integers(0, 2)),
+        st.tuples(st.just("checkpoint")),
+        st.tuples(st.just("roundtrip")),          # run one slice
+    ),
+    min_size=1, max_size=15)
+
+
+@given(script=ops)
+@settings(max_examples=30, deadline=None)
+def test_heap_survives_any_lifecycle_interleaving(script):
+    cl, scheds, mig, _ = make_cluster(3, emulate_swap=True)
+    ck = Checkpointer(mig)
+    cells = {}
+    shadow = {}
+
+    def body(th):
+        for i in range(8):
+            cells[i] = th.malloc(8)
+            th.write_word(cells[i], 0)
+            shadow[i] = 0
+        while True:
+            yield "suspend"
+
+    t = scheds[0].create(body)
+    scheds[0].run()          # allocate and suspend
+
+    def current_sched():
+        return t.scheduler
+
+    for op in script:
+        if op[0] == "write":
+            _, idx, value = op
+            # Writes happen "inside" the thread: resume it for one slice.
+            t.resume_value = None
+            current_sched().awaken(t)
+            # Poke memory directly through the thread handle (the thread
+            # is READY; its slot is resident on its current processor).
+            t.write_word(cells[idx], value)
+            shadow[idx] = value
+            current_sched().run(max_switches=1)   # back to suspend
+        elif op[0] == "migrate":
+            dst = op[1]
+            if t.state in (ThreadState.READY, ThreadState.SUSPENDED):
+                mig.migrate(t, dst)
+                cl.run()
+        elif op[0] == "checkpoint":
+            if t.state in (ThreadState.READY, ThreadState.SUSPENDED):
+                ck.checkpoint(t)
+        else:  # roundtrip: one suspend/awaken cycle
+            if t.state is ThreadState.SUSPENDED:
+                current_sched().awaken(t)
+                current_sched().run(max_switches=1)
+        # Invariant after every operation: heap matches the shadow model.
+        for i, addr in cells.items():
+            assert t.read_word(addr) == shadow[i], (op, i)
+
+
+@given(hops=st.lists(st.integers(0, 2), min_size=1, max_size=6))
+@settings(max_examples=20, deadline=None)
+def test_checkpoint_restore_valid_only_at_the_barrier(hops):
+    """After any migration chain, a fresh checkpoint restores; a stale one
+    (thread ran since) is refused."""
+    cl, scheds, mig, _ = make_cluster(3)
+    ck = Checkpointer(mig)
+
+    def body(th):
+        a = th.malloc(8)
+        th.write_word(a, 0xCAFE)
+        while True:
+            yield "suspend"
+
+    t = scheds[0].create(body)
+    scheds[0].run()
+    for dst in hops:
+        mig.migrate(t, dst)
+        cl.run()
+    key = ck.checkpoint(t)
+    # Run one more slice: the checkpoint becomes stale.
+    t.scheduler.awaken(t)
+    t.scheduler.run(max_switches=1)
+    try:
+        ck.restore(key, dst_pe=0)
+        raise AssertionError("stale restore should have been refused")
+    except MigrationError:
+        pass

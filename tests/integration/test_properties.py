@@ -1,0 +1,156 @@
+"""Cross-module property-based tests (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.balance import GreedyLB, RefineLB
+from repro.charm.sdag import Overlap, SdagDriver, When
+from repro.core.pup import pack_value, unpack_value
+from tests.core.conftest import make_cluster
+
+
+# ---------------------------------------------------------------------------
+# SDAG: message-arrival order must not matter
+# ---------------------------------------------------------------------------
+
+@given(perm=st.permutations(["a", "b", "c", "d"]))
+@settings(max_examples=24, deadline=None)
+def test_sdag_overlap_order_independent(perm):
+    """An overlap's result depends only on message contents, never on
+    arrival order — the construct's defining guarantee."""
+    results = []
+
+    def gen():
+        vals = yield Overlap(When("a"), When("b"), When("c"), When("d"))
+        results.append(vals)
+
+    driver = SdagDriver(gen())
+    driver.start()
+    for name in perm:
+        driver.deliver(name, name.upper())
+    assert driver.finished
+    assert results == [("A", "B", "C", "D")]
+
+
+@given(msgs=st.lists(st.sampled_from(["x", "y"]), min_size=4, max_size=12))
+@settings(max_examples=30, deadline=None)
+def test_sdag_buffering_never_loses_messages(msgs):
+    """Every delivered message is eventually consumed or still buffered —
+    none vanish, whatever the interleaving."""
+    consumed = []
+
+    def gen():
+        while True:
+            v = yield When("x")
+            consumed.append(v)
+
+    driver = SdagDriver(gen())
+    driver.start()
+    for i, name in enumerate(msgs):
+        driver.deliver(name, i)
+    n_x = sum(1 for m in msgs if m == "x")
+    n_y = len(msgs) - n_x
+    assert len(consumed) == n_x
+    assert len(driver.buffers.get("y", [])) == n_y
+    # x messages consumed in FIFO order.
+    assert consumed == [i for i, m in enumerate(msgs) if m == "x"]
+
+
+# ---------------------------------------------------------------------------
+# Load balancing invariants
+# ---------------------------------------------------------------------------
+
+load_maps = st.dictionaries(
+    st.integers(min_value=0, max_value=40),
+    st.floats(min_value=0.1, max_value=1000.0),
+    min_size=1, max_size=24)
+
+
+@given(loads=load_maps, npes=st.integers(min_value=1, max_value=8))
+@settings(max_examples=50, deadline=None)
+def test_greedy_lb_covers_and_bounds(loads, npes):
+    out = GreedyLB().map_objects(loads, {}, npes)
+    assert set(out) == set(loads)
+    assert all(0 <= pe < npes for pe in out.values())
+    # LPT bound: max load <= avg + max single object.
+    per_pe = [0.0] * npes
+    for obj, pe in out.items():
+        per_pe[pe] += loads[obj]
+    avg = sum(loads.values()) / npes
+    assert max(per_pe) <= avg + max(loads.values()) + 1e-9
+
+
+@given(loads=load_maps, npes=st.integers(min_value=2, max_value=6),
+       seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=50, deadline=None)
+def test_refine_lb_never_worse(loads, npes, seed):
+    """RefineLB never increases the maximum processor load."""
+    import random
+    rng = random.Random(seed)
+    current = {obj: rng.randrange(npes) for obj in loads}
+
+    def maxload(placement):
+        per = [0.0] * npes
+        for obj, pe in placement.items():
+            per[pe] += loads[obj]
+        return max(per)
+
+    out = RefineLB().map_objects(loads, current, npes)
+    assert set(out) == set(loads)
+    assert maxload(out) <= maxload(current) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# pack_value roundtrips
+# ---------------------------------------------------------------------------
+
+json_like = st.recursive(
+    st.one_of(st.none(), st.booleans(),
+              st.integers(min_value=-2**62, max_value=2**62),
+              st.floats(allow_nan=False, allow_infinity=False),
+              st.binary(max_size=64), st.text(max_size=32)),
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5)),
+    max_leaves=20)
+
+
+@given(value=json_like)
+@settings(max_examples=80, deadline=None)
+def test_pack_value_roundtrip(value):
+    assert unpack_value(pack_value(value)) == value
+
+
+# ---------------------------------------------------------------------------
+# Migration: arbitrary heap contents survive, repeatedly
+# ---------------------------------------------------------------------------
+
+@given(payloads=st.lists(st.binary(min_size=1, max_size=300), min_size=1,
+                         max_size=5),
+       hops=st.lists(st.integers(min_value=0, max_value=2), min_size=1,
+                     max_size=4))
+@settings(max_examples=25, deadline=None)
+def test_migration_preserves_arbitrary_heaps(payloads, hops):
+    cl, scheds, mig, _ = make_cluster(3)
+    seen = []
+
+    def body(th):
+        addrs = []
+        for data in payloads:
+            a = th.malloc(len(data))
+            th.write(a, data)
+            addrs.append(a)
+        while True:
+            yield "suspend"
+            seen.append([th.read(a, len(p))
+                         for a, p in zip(addrs, payloads)])
+
+    t = scheds[0].create(body)
+    scheds[0].run()
+    for dst in hops:
+        mig.migrate(t, dst)
+        cl.run()
+        sched = t.scheduler
+        sched.awaken(t)
+        sched.run()
+    for snapshot in seen:
+        assert snapshot == payloads

@@ -1,0 +1,104 @@
+"""Unit tests for SimClock and EventQueue."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim import EventQueue, SimClock
+
+
+def test_clock_advances():
+    c = SimClock()
+    assert c.now == 0.0
+    c.advance(100)
+    assert c.now == 100.0
+    c.advance(0.5)
+    assert c.now == 100.5
+
+
+def test_clock_rejects_negative():
+    c = SimClock()
+    with pytest.raises(ReproError):
+        c.advance(-1)
+
+
+def test_clock_advance_to_never_goes_backward():
+    c = SimClock(50)
+    c.advance_to(30)
+    assert c.now == 50
+    c.advance_to(80)
+    assert c.now == 80
+
+
+def test_event_order_by_time():
+    q = EventQueue()
+    log = []
+    q.schedule(30, log.append, "c")
+    q.schedule(10, log.append, "a")
+    q.schedule(20, log.append, "b")
+    q.run()
+    assert log == ["a", "b", "c"]
+    assert q.current_time == 30
+
+
+def test_simultaneous_events_fifo():
+    q = EventQueue()
+    log = []
+    for i in range(10):
+        q.schedule(5.0, log.append, i)
+    q.run()
+    assert log == list(range(10))
+
+
+def test_schedule_in_past_rejected():
+    q = EventQueue()
+    q.schedule(10, lambda: None)
+    q.run()
+    with pytest.raises(ReproError):
+        q.schedule(5, lambda: None)
+
+
+def test_cancel():
+    q = EventQueue()
+    log = []
+    ev = q.schedule(10, log.append, "x")
+    q.schedule(20, log.append, "y")
+    ev.cancel()
+    q.run()
+    assert log == ["y"]
+    assert len(q) == 0
+
+
+def test_run_until():
+    q = EventQueue()
+    log = []
+    q.schedule(10, log.append, 1)
+    q.schedule(20, log.append, 2)
+    q.schedule(30, log.append, 3)
+    n = q.run(until=20)
+    assert n == 2
+    assert log == [1, 2]
+    q.run()
+    assert log == [1, 2, 3]
+
+
+def test_run_max_events():
+    q = EventQueue()
+    # An event that reschedules itself forever.
+    def tick():
+        q.schedule(q.current_time + 1, tick)
+    q.schedule(0, tick)
+    n = q.run(max_events=100)
+    assert n == 100
+
+
+def test_events_scheduled_during_run_are_seen():
+    q = EventQueue()
+    log = []
+
+    def first():
+        log.append("first")
+        q.schedule(15, lambda: log.append("nested"))
+
+    q.schedule(10, first)
+    q.run()
+    assert log == ["first", "nested"]

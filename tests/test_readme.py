@@ -1,0 +1,25 @@
+"""The README's Python snippets must actually run."""
+
+import os
+import re
+
+README = os.path.join(os.path.dirname(__file__), "..", "README.md")
+
+
+def python_blocks():
+    text = open(README).read()
+    return re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+
+
+def test_readme_has_python_snippets():
+    assert len(python_blocks()) >= 2
+
+
+def test_readme_snippets_execute():
+    for i, block in enumerate(python_blocks()):
+        namespace = {}
+        try:
+            exec(compile(block, f"README-block-{i}", "exec"), namespace)
+        except Exception as e:  # pragma: no cover - diagnostic clarity
+            raise AssertionError(
+                f"README python block #{i} failed: {e}\n---\n{block}") from e

@@ -1,0 +1,108 @@
+"""Tests for copy-on-write fork."""
+
+import pytest
+
+from repro.vm import AddressSpace, AddressSpaceLayout, PhysicalMemory
+from repro.vm.layout import MB
+
+
+def make_space():
+    pm = PhysicalMemory(64 * MB)
+    return AddressSpace(AddressSpaceLayout.small32(), pm), pm
+
+
+def test_cow_fork_shares_frames_initially():
+    sp, pm = make_space()
+    m = sp.mmap(4 * 4096, region="data")
+    sp.write(m.start, b"shared")
+    frames_before = pm.frames_in_use
+    child = sp.fork_copy("child", cow=True)
+    # No new physical frames for the fork itself.
+    assert pm.frames_in_use == frames_before
+    assert child.read(m.start, 6) == b"shared"
+    assert child.resident_bytes == sp.resident_bytes
+
+
+def test_cow_write_in_child_copies_one_page():
+    sp, pm = make_space()
+    m = sp.mmap(4 * 4096, region="data")
+    sp.write(m.start, b"original")
+    child = sp.fork_copy("child", cow=True)
+    before = pm.frames_in_use
+    child.write(m.start, b"CHANGED!")
+    assert pm.frames_in_use == before + 1     # exactly one page copied
+    assert child.cow_breaks == 1
+    assert sp.read(m.start, 8) == b"original"
+    assert child.read(m.start, 8) == b"CHANGED!"
+    # Untouched pages are still shared.
+    child.write(m.start + 3 * 4096, b"x")
+    assert pm.frames_in_use == before + 2
+
+
+def test_cow_write_in_parent_isolated_too():
+    sp, pm = make_space()
+    m = sp.mmap(4096, region="data")
+    sp.write(m.start, b"v1")
+    child = sp.fork_copy("child", cow=True)
+    sp.write(m.start, b"v2")
+    assert sp.cow_breaks == 1
+    assert child.read(m.start, 2) == b"v1"
+    assert sp.read(m.start, 2) == b"v2"
+
+
+def test_cow_last_owner_writes_in_place():
+    """After one side broke the share, the other writes without copying."""
+    sp, pm = make_space()
+    m = sp.mmap(4096, region="data")
+    child = sp.fork_copy("child", cow=True)
+    child.write(m.start, b"a")            # breaks the share (copy)
+    frames = pm.frames_in_use
+    sp.write(m.start, b"b")               # exclusive now: no copy
+    assert pm.frames_in_use == frames
+    assert sp.cow_breaks == 1
+
+
+def test_cow_reads_never_copy():
+    sp, pm = make_space()
+    m = sp.mmap(4 * 4096, region="data")
+    child = sp.fork_copy("child", cow=True)
+    before = pm.frames_in_use
+    for off in range(0, 4 * 4096, 4096):
+        assert child.read(m.start + off, 8) == sp.read(m.start + off, 8)
+    assert pm.frames_in_use == before
+    assert child.cow_breaks == 0
+
+
+def test_cow_child_teardown_releases_shares():
+    sp, pm = make_space()
+    m = sp.mmap(2 * 4096, region="data")
+    sp.write(m.start, b"keep")
+    child = sp.fork_copy("child", cow=True)
+    for cm in list(child.mappings()):
+        child.munmap(cm)
+    # Parent's data intact and frames still owned by the parent.
+    assert sp.read(m.start, 4) == b"keep"
+    sp.write(m.start, b"still-writable")
+    assert sp.read(m.start, 5) == b"still"
+
+
+def test_cow_grandchildren():
+    """Fork of a fork: three owners of one frame, each isolating on write."""
+    sp, pm = make_space()
+    m = sp.mmap(4096, region="data")
+    sp.write(m.start, b"gen0")
+    child = sp.fork_copy("child", cow=True)
+    grand = child.fork_copy("grand", cow=True)
+    grand.write(m.start, b"gen2")
+    child.write(m.start, b"gen1")
+    assert sp.read(m.start, 4) == b"gen0"
+    assert child.read(m.start, 4) == b"gen1"
+    assert grand.read(m.start, 4) == b"gen2"
+
+
+def test_eager_fork_still_copies():
+    sp, pm = make_space()
+    m = sp.mmap(4096, region="data")
+    before = pm.frames_in_use
+    sp.fork_copy("child", cow=False)
+    assert pm.frames_in_use == before + 1

@@ -1,0 +1,95 @@
+"""Tests for the BT-MZ-like multi-zone workload."""
+
+import pytest
+
+from repro.balance import GreedyLB, NullLB
+from repro.errors import ReproError
+from repro.workloads.btmz import (BTMZ_CLASSES, BTMZConfig, make_zones,
+                                  run_btmz, zone_rank_assignment)
+
+
+def test_class_definitions():
+    assert BTMZ_CLASSES["A"].num_zones == 16
+    assert BTMZ_CLASSES["B"].num_zones == 64
+    assert BTMZ_CLASSES["C"].num_zones == 256
+
+
+@pytest.mark.parametrize("cls", ["S", "W", "A", "B"])
+def test_zone_count_and_grid_conservation(cls):
+    zones = make_zones(cls)
+    spec = BTMZ_CLASSES[cls]
+    assert len(zones) == spec.num_zones
+    # x widths of one row tile the aggregate x dimension exactly.
+    row = zones[:spec.x_zones]
+    assert sum(z.nx for z in row) == spec.gx
+    # Total points equal the aggregate grid.
+    assert sum(z.points for z in zones) == spec.gx * spec.gy * spec.gz
+
+
+@pytest.mark.parametrize("cls", ["A", "B", "C"])
+def test_zone_size_ratio_about_20(cls):
+    """BT-MZ's documented imbalance: max/min zone points ≈ 20."""
+    zones = make_zones(cls)
+    pts = [z.points for z in zones]
+    ratio = max(pts) / min(pts)
+    assert 14 < ratio < 28
+
+
+def test_unknown_class_rejected():
+    with pytest.raises(ReproError):
+        make_zones("Z")
+
+
+def test_assignment_covers_all_zones():
+    zones = make_zones("B")
+    for nprocs in (8, 16, 64):
+        blocks = zone_rank_assignment(zones, nprocs)
+        assert len(blocks) == nprocs
+        flat = [z.index for b in blocks for z in b]
+        assert flat == list(range(64))
+
+
+def test_assignment_too_many_ranks_rejected():
+    with pytest.raises(ReproError):
+        zone_rank_assignment(make_zones("A"), 17)
+
+
+def test_config_label():
+    assert BTMZConfig("B", 16, 8).label == "B.16,8PE"
+
+
+def test_lb_beats_no_lb():
+    """The Figure 12 headline: thread migration reduces execution time."""
+    cfg = BTMZConfig("A", 16, 8, iterations=4)
+    no_lb = run_btmz(cfg, NullLB())
+    with_lb = run_btmz(cfg, GreedyLB())
+    assert with_lb.makespan_ns < no_lb.makespan_ns
+    assert with_lb.migrations > 0
+    assert no_lb.migrations == 0
+    assert with_lb.imbalance_after < with_lb.imbalance_before
+
+
+def test_same_class_same_pe_converges_with_lb():
+    """Paper: 'for all three class B tests on 8 processors, the execution
+    times after load balancing are about the same, while there is a
+    dramatic variation ... before load balancing'."""
+    results_lb = []
+    results_no = []
+    for nprocs in (16, 32, 64):
+        cfg = BTMZConfig("B", nprocs, 8, iterations=6)
+        results_no.append(run_btmz(cfg, NullLB()).makespan_ns)
+        results_lb.append(run_btmz(cfg, GreedyLB()).makespan_ns)
+    spread_no = max(results_no) / min(results_no)
+    spread_lb = max(results_lb) / min(results_lb)
+    assert spread_no > 1.5              # dramatic variation without LB
+    assert spread_lb < 1.3              # about the same with LB
+    assert spread_lb < spread_no
+
+
+def test_virtualization_helps():
+    """More ranks than PEs gives LB finer grains to move (Section 4.5:
+    AMPI 'requires the number of AMPI migratable threads to be much larger
+    than the actual number of processors')."""
+    coarse = run_btmz(BTMZConfig("B", 8, 8, iterations=3), GreedyLB())
+    fine = run_btmz(BTMZConfig("B", 32, 8, iterations=3), GreedyLB())
+    assert fine.imbalance_after <= coarse.imbalance_after + 1e-9

@@ -1,0 +1,102 @@
+"""Tests for the MD workload and the BigSim engine."""
+
+import pytest
+
+from repro.bigsim import BigSimEngine, TargetMachine
+from repro.errors import ReproError
+from repro.workloads.md import MDConfig, MDWorkload
+
+
+def small_workload(dims=(4, 4, 4)):
+    return MDWorkload(MDConfig(dims=dims))
+
+
+def test_torus_neighbors():
+    wl = small_workload()
+    n = wl.neighbors(0)
+    assert len(n) == 6
+    assert all(0 <= x < 64 for x in n)
+    # Coordinates round-trip.
+    for c in range(64):
+        assert wl.index(*wl.coords(c)) == c
+
+
+def test_degenerate_torus_dedupes_neighbors():
+    wl = MDWorkload(MDConfig(dims=(2, 2, 1)))
+    # On a 2x2x1 torus, +x and -x wrap to the same cell.
+    assert len(wl.neighbors(0)) < 6
+
+
+def test_atoms_deterministic_and_jittered():
+    wl = small_workload()
+    a1 = [wl.atoms(c) for c in range(64)]
+    a2 = [wl.atoms(c) for c in range(64)]
+    assert a1 == a2                         # deterministic
+    assert len(set(a1)) > 10                # varied
+    mean = sum(a1) / len(a1)
+    assert 0.6 * 500 < mean < 1.4 * 500
+
+
+def test_workload_laws_positive():
+    wl = small_workload()
+    for c in range(64):
+        assert wl.compute_ns(c) > 0
+        assert wl.ghost_bytes(c) > 0
+    assert wl.total_compute_ns() == sum(wl.compute_ns(c) for c in range(64))
+
+
+def test_engine_validates_shapes():
+    with pytest.raises(ReproError):
+        BigSimEngine(2, TargetMachine(dims=(2, 2, 2)),
+                     small_workload(dims=(4, 4, 4)))
+    with pytest.raises(ReproError):
+        BigSimEngine(2, TargetMachine(dims=(4, 4, 4)),
+                     small_workload(), steps=0)
+
+
+def test_bigsim_runs_and_reports():
+    eng = BigSimEngine(4, TargetMachine(dims=(4, 4, 4)), small_workload(),
+                       steps=2)
+    res = eng.run()
+    assert res.target_processors == 64
+    assert res.threads_per_host_proc == 16.0
+    assert res.host_ns_per_step > 0
+    assert res.predicted_target_ns_per_step > 0
+    # Prediction must cover at least the heaviest cell's compute.
+    wl = eng.workload
+    heaviest = max(wl.compute_ns(c) for c in range(64))
+    assert res.predicted_target_ns_per_step >= heaviest
+
+
+def test_bigsim_scales_with_host_processors():
+    """Figure 11's shape: more simulating processors -> less time/step."""
+    times = {}
+    for p in (2, 4, 8):
+        eng = BigSimEngine(p, TargetMachine(dims=(4, 4, 8)),
+                           small_workload(dims=(4, 4, 8)), steps=2)
+        times[p] = eng.run().host_ns_per_step
+    assert times[2] > times[4] > times[8]
+    # Near-linear: doubling processors cuts time by at least 1.5x.
+    assert times[2] / times[4] > 1.5
+    assert times[4] / times[8] > 1.5
+
+
+def test_bigsim_prediction_independent_of_host_count():
+    """Target-time prediction must not depend on how many host processors
+    run the simulation — that is the whole point of BigSim."""
+    preds = []
+    for p in (2, 8):
+        eng = BigSimEngine(p, TargetMachine(dims=(4, 4, 4)),
+                           small_workload(), steps=2)
+        preds.append(eng.run().predicted_target_ns_per_step)
+    assert preds[0] == pytest.approx(preds[1])
+
+
+def test_many_threads_one_host_processor():
+    """The Section 4.4 feat in miniature: hundreds of target processors as
+    user-level threads on a single simulating processor."""
+    eng = BigSimEngine(1, TargetMachine(dims=(8, 8, 8)),
+                       small_workload(dims=(8, 8, 8)), steps=1)
+    res = eng.run()
+    assert res.threads_per_host_proc == 512
+    assert res.host_ns_per_step > 0

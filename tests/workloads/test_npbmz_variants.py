@@ -1,0 +1,76 @@
+"""Tests for the SP-MZ / LU-MZ balanced controls (vs BT-MZ)."""
+
+import pytest
+
+from repro.balance import GreedyLB, NullLB
+from repro.errors import ReproError
+from repro.workloads.btmz import BTMZ_CLASSES, BTMZConfig, make_zones, \
+    run_btmz
+
+
+def test_sp_zones_are_uniform():
+    zones = make_zones("B", "sp")
+    pts = {z.points for z in zones}
+    # Uniform up to the one rounding remainder row/column.
+    assert len(zones) == 64
+    assert max(pts) / min(pts) < 1.3
+
+
+def test_lu_is_fixed_4x4():
+    for cls in ("A", "B", "C"):
+        zones = make_zones(cls, "lu")
+        assert len(zones) == 16
+    pts = [z.points for z in make_zones("B", "lu")]
+    assert max(pts) / min(pts) < 1.3
+
+
+def test_bt_is_the_imbalanced_one():
+    """'Among these tests, BT-MZ creates the most dramatic load
+    imbalance' — quantified."""
+    ratios = {}
+    for bench in ("bt", "sp", "lu"):
+        pts = [z.points for z in make_zones("B", bench)]
+        ratios[bench] = max(pts) / min(pts)
+    assert ratios["bt"] > 10 * ratios["sp"]
+    assert ratios["bt"] > 10 * ratios["lu"]
+
+
+def test_zone_grid_conserved_in_all_variants():
+    spec = BTMZ_CLASSES["A"]
+    total = spec.gx * spec.gy * spec.gz
+    for bench in ("bt", "sp", "lu"):
+        assert sum(z.points for z in make_zones("A", bench)) == total
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(ReproError):
+        make_zones("A", "ft")
+
+
+def test_config_labels():
+    assert BTMZConfig("B", 16, 8).label == "B.16,8PE"
+    assert BTMZConfig("B", 16, 8, benchmark="sp").label == "SP-B.16,8PE"
+
+
+def test_sp_mz_barely_benefits_from_lb():
+    """The negative control: with uniform zones there is little imbalance
+    for thread migration to fix — unlike BT-MZ under the same setup."""
+    sp = BTMZConfig("B", 16, 8, iterations=5, benchmark="sp")
+    sp_no = run_btmz(sp, NullLB()).makespan_ns
+    sp_lb = run_btmz(sp, GreedyLB()).makespan_ns
+    sp_gain = sp_no / sp_lb
+
+    bt = BTMZConfig("B", 16, 8, iterations=5, benchmark="bt")
+    bt_no = run_btmz(bt, NullLB()).makespan_ns
+    bt_lb = run_btmz(bt, GreedyLB()).makespan_ns
+    bt_gain = bt_no / bt_lb
+
+    assert sp_gain < 1.1           # nothing much to win
+    assert bt_gain > 1.3           # the dramatic case
+    assert bt_gain > sp_gain
+
+
+def test_sp_mz_static_balance_is_good():
+    res = run_btmz(BTMZConfig("B", 16, 8, iterations=3, benchmark="sp"),
+                   NullLB())
+    assert res.imbalance_before < 1.15

@@ -1,0 +1,42 @@
+"""Tests for the stencil workload (Figure 1 program, real numerics)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.stencil import (StencilConfig, initial_grid,
+                                     jacobi_reference, run_ampi_stencil)
+
+
+def test_reference_converges_toward_boundary_average():
+    cfg = StencilConfig(rows=16, cols=16, iterations=200)
+    out = jacobi_reference(initial_grid(cfg), cfg.iterations)
+    # Interior values settle between the two boundary temperatures.
+    interior = out[1:-1, 1:-1]
+    assert interior.max() <= 100.0
+    assert interior.min() >= -25.0
+    assert abs(interior.mean()) < 40.0
+
+
+@pytest.mark.parametrize("num_ranks", [1, 2, 4, 8])
+def test_ampi_stencil_matches_sequential_reference(num_ranks):
+    """The parallel decomposition is numerically exact vs the reference."""
+    cfg = StencilConfig(rows=32, cols=16, iterations=6)
+    _, parallel = run_ampi_stencil(cfg, num_procs=2, num_ranks=num_ranks)
+    expected = jacobi_reference(initial_grid(cfg), cfg.iterations)
+    np.testing.assert_allclose(parallel, expected, rtol=1e-12)
+
+
+def test_ampi_stencil_more_ranks_than_processors():
+    cfg = StencilConfig(rows=32, cols=8, iterations=3)
+    rt, parallel = run_ampi_stencil(cfg, num_procs=2, num_ranks=8)
+    expected = jacobi_reference(initial_grid(cfg), cfg.iterations)
+    np.testing.assert_allclose(parallel, expected, rtol=1e-12)
+    assert rt.makespan_ns > 0
+
+
+def test_stencil_charges_compute_time():
+    cfg = StencilConfig(rows=32, cols=16, iterations=4, ns_per_point=10.0)
+    rt, _ = run_ampi_stencil(cfg, num_procs=2, num_ranks=4)
+    # Total charged work at least iterations * points * ns_per_point.
+    total_work = sum(p.busy_ns for p in rt.cluster.processors)
+    assert total_work >= 4 * 32 * 16 * 10.0

@@ -1,0 +1,86 @@
+"""Tests for BigSim trace logging and trace-driven re-prediction."""
+
+import pytest
+
+from repro.bigsim import BigSimEngine, TargetMachine
+from repro.bigsim.trace import TraceEvent, TraceLog, replay
+from repro.errors import ReproError
+from repro.workloads.md import MDConfig, MDWorkload
+
+
+def emulate(dims=(4, 4, 4), steps=3, **cfg_kw):
+    wl = MDWorkload(MDConfig(dims=dims, **cfg_kw))
+    tgt = TargetMachine(dims=dims)
+    eng = BigSimEngine(4, tgt, wl, steps=steps, record_trace=True)
+    res = eng.run()
+    return eng, tgt, res
+
+
+def test_trace_is_complete():
+    eng, tgt, res = emulate()
+    eng.trace.validate()
+    assert len(eng.trace.events) == 64 * 3
+    blocks = eng.trace.for_proc(0)
+    assert [b.step for b in blocks] == [0, 1, 2]
+    assert all(len(b.sends) == 6 for b in blocks)
+
+
+def test_replay_reproduces_emulation_exactly():
+    """Same machine parameters -> bit-identical prediction (the two-phase
+    consistency BigSim depends on)."""
+    eng, tgt, res = emulate()
+    assert replay(eng.trace, tgt) == pytest.approx(
+        res.predicted_target_ns_per_step, rel=1e-12)
+
+
+def test_replay_what_if_network():
+    """One emulation, many candidate machines: a faster interconnect
+    lowers the prediction, a slower one raises it."""
+    eng, tgt, res = emulate()
+    base = res.predicted_target_ns_per_step
+    fast = replay(eng.trace, TargetMachine(
+        dims=(4, 4, 4), network_latency_ns=300, network_bytes_per_ns=2.0))
+    slow = replay(eng.trace, TargetMachine(
+        dims=(4, 4, 4), network_latency_ns=30_000,
+        network_bytes_per_ns=0.02))
+    assert fast < base < slow
+
+
+def test_replay_what_if_cpu():
+    eng, tgt, res = emulate()
+    base = res.predicted_target_ns_per_step
+    faster = replay(eng.trace, tgt, cpu_scale=2.0)
+    assert faster < base
+    # Compute does not halve wall time: the network share remains.
+    assert faster > base / 2
+
+
+def test_replay_monotone_in_latency():
+    eng, _, _ = emulate(dims=(3, 3, 3))
+    preds = [replay(eng.trace, TargetMachine(dims=(3, 3, 3),
+                                             network_latency_ns=lat))
+             for lat in (100.0, 1_000.0, 10_000.0, 100_000.0)]
+    assert preds == sorted(preds)
+    assert preds[-1] > preds[0]
+
+
+def test_incomplete_trace_rejected():
+    log = TraceLog(num_procs=2, steps=2)
+    log.add(TraceEvent(0, 0, 10.0, (), (), 0))
+    with pytest.raises(ReproError, match="incomplete"):
+        replay(log, TargetMachine(dims=(2, 1, 1)))
+
+
+def test_trace_off_by_default():
+    wl = MDWorkload(MDConfig(dims=(2, 2, 2)))
+    eng = BigSimEngine(2, TargetMachine(dims=(2, 2, 2)), wl, steps=1)
+    eng.run()
+    assert eng.trace is None
+
+
+def test_uneven_workload_prediction_dominated_by_dense_cells():
+    eng, tgt, res = emulate(atom_jitter=0.9, density_profile="gradient")
+    heaviest = max(eng.workload.compute_ns(c) for c in range(64))
+    assert res.predicted_target_ns_per_step >= heaviest
+    assert replay(eng.trace, tgt) == pytest.approx(
+        res.predicted_target_ns_per_step, rel=1e-12)
