@@ -72,7 +72,10 @@ class StencilStrip(Chare):
                                        + ext[e, :-2] + ext[e, 2:])
             strip = nxt
             self.charge(CFG.ns_per_point * strip.size)
-        collected[self.thisIndex] = strip
+        # Teaching shortcut: the example harvests results into a host-side
+        # dict to compare against the sequential reference; the chare never
+        # migrates after writing it.
+        collected[self.thisIndex] = strip  # migralint: disable=MIG002
 
 
 def main():

@@ -1,0 +1,258 @@
+"""Shared AST queries for migralint rules.
+
+The rules all reason about the same handful of program shapes — "is this
+class a migratable object?", "is this function a thread body?", "which
+module globals are mutable?" — so those queries live here, once.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+__all__ = [
+    "FuncDef",
+    "MigratableContext",
+    "call_name",
+    "class_base_names",
+    "has_pup_method",
+    "is_migratable_class",
+    "is_generator",
+    "iter_classes",
+    "iter_functions",
+    "local_names",
+    "migratable_contexts",
+    "module_mutable_globals",
+    "self_attr_name",
+    "walk_shallow",
+]
+
+FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Conventional first-parameter names of migratable flow bodies: Cth
+#: thread bodies take ``th``/``thread``, AMPI rank mains take ``mpi``.
+THREAD_PARAM_NAMES = {"th", "thread", "mpi"}
+
+#: Base-class names that make a class a migratable object in this repo.
+MIGRATABLE_BASES = {"Chare", "Poser"}
+
+#: Calls whose result is a mutable container (module-global detection).
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "deque",
+                  "defaultdict", "OrderedDict", "Counter"}
+_MUTABLE_DISPLAYS = (ast.List, ast.Dict, ast.Set,
+                     ast.ListComp, ast.DictComp, ast.SetComp)
+
+
+def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function/class body without descending into nested scopes.
+
+    Yields every node reachable from ``node`` except the interiors of
+    nested ``def``/``class``/``lambda`` (the nested scope's *header* —
+    decorators, defaults — is still visited).
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef, ast.Lambda)):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def is_generator(func: FuncDef) -> bool:
+    """True if the function's own body contains yield / yield from."""
+    return any(isinstance(n, (ast.Yield, ast.YieldFrom))
+               for n in walk_shallow(func))
+
+
+def call_name(call: ast.Call) -> str:
+    """Dotted name of a call target: ``open``, ``threading.Lock``, ...
+
+    Attribute chains longer than two segments keep only the last two
+    (``a.b.threading.Lock`` -> ``threading.Lock``); non-name targets
+    come back as ``""``.
+    """
+    fn = call.func
+    if isinstance(fn, ast.Name):
+        return fn.id
+    if isinstance(fn, ast.Attribute):
+        if isinstance(fn.value, ast.Name):
+            return f"{fn.value.id}.{fn.attr}"
+        if isinstance(fn.value, ast.Attribute):
+            return f"{fn.value.attr}.{fn.attr}"
+        return fn.attr
+    return ""
+
+
+def class_base_names(cls: ast.ClassDef) -> Set[str]:
+    """Unqualified names of a class's bases."""
+    names: Set[str] = set()
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def iter_classes(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    """Every class definition in the module, at any nesting depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def iter_functions(tree: ast.AST) -> Iterator[FuncDef]:
+    """Every function definition under ``tree``, at any nesting depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def class_method(cls: ast.ClassDef, name: str) -> Optional[FuncDef]:
+    """A directly defined method of ``cls`` (no inheritance), or None."""
+    for item in cls.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and item.name == name:
+            return item
+    return None
+
+
+def has_pup_method(cls: ast.ClassDef) -> bool:
+    return class_method(cls, "pup") is not None
+
+
+def is_pup_registered(cls: ast.ClassDef) -> bool:
+    """True when decorated with ``@pup_register`` (with or without args)."""
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "pup_register":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "pup_register":
+            return True
+    return False
+
+
+def is_migratable_class(cls: ast.ClassDef) -> bool:
+    """Chare/Poser subclass, ``@pup_register``-ed, or pup-bearing."""
+    return bool(class_base_names(cls) & MIGRATABLE_BASES) \
+        or is_pup_registered(cls) or has_pup_method(cls)
+
+
+def self_attr_name(node: ast.AST, self_name: str) -> Optional[str]:
+    """``"x"`` for an ``<self>.x`` attribute node, else None."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+            and node.value.id == self_name:
+        return node.attr
+    return None
+
+
+def module_mutable_globals(tree: ast.Module) -> Dict[str, int]:
+    """Module-level names bound to mutable containers -> definition line.
+
+    Detects list/dict/set displays and comprehensions plus calls to the
+    standard mutable constructors.  Dunder/private names (``__all__``,
+    ``_cache``) are excluded: they belong to import machinery and module
+    internals, not to program state a thread might share.
+    """
+    out: Dict[str, int] = {}
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        mutable = isinstance(value, _MUTABLE_DISPLAYS) or (
+            isinstance(value, ast.Call)
+            and call_name(value).split(".")[-1] in _MUTABLE_CALLS)
+        if not mutable:
+            continue
+        for t in targets:
+            if isinstance(t, ast.Name) and not t.id.startswith("_"):
+                out[t.id] = stmt.lineno
+    return out
+
+
+def local_names(func: FuncDef) -> Set[str]:
+    """Names bound locally in ``func`` (params + assignments), minus globals.
+
+    A name declared ``global`` stays out of the set, so references to it
+    resolve to the module scope as Python itself would.
+    """
+    args = func.args
+    names = {a.arg for a in (args.posonlyargs + args.args + args.kwonlyargs)}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    declared_global: Set[str] = set()
+    for node in walk_shallow(func):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for t in ast.walk(node.target):
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+        elif isinstance(node, ast.comprehension):
+            for t in ast.walk(node.target):
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+    return names - declared_global
+
+
+@dataclass(frozen=True)
+class MigratableContext:
+    """One function whose frame migrates with a flow of control."""
+
+    func: FuncDef
+    #: "sdag method" | "chare method" | "poser method" | "thread body"
+    kind: str
+    cls: Optional[ast.ClassDef] = None
+
+    @property
+    def describe(self) -> str:
+        if self.cls is not None:
+            return f"{self.kind} {self.cls.name}.{self.func.name}"
+        return f"{self.kind} {self.func.name}"
+
+
+def migratable_contexts(tree: ast.Module) -> List[MigratableContext]:
+    """Every function body that runs as (part of) a migratable flow.
+
+    Three shapes, per the repo's conventions:
+
+    * methods of ``Chare`` subclasses — generator methods are SDAG entry
+      methods, the rest plain entry methods;
+    * methods of ``Poser`` subclasses (optimistically executed, PUP
+      snapshots around every event);
+    * generator functions whose first parameter is ``th``/``thread``/
+      ``mpi`` — Cth thread bodies and AMPI rank mains, wherever defined.
+    """
+    out: List[MigratableContext] = []
+    methods: Set[int] = set()
+    for cls in iter_classes(tree):
+        bases = class_base_names(cls)
+        if not bases & MIGRATABLE_BASES:
+            continue
+        label = "chare" if "Chare" in bases else "poser"
+        for item in cls.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                kind = ("sdag method" if label == "chare" and is_generator(item)
+                        else f"{label} method")
+                out.append(MigratableContext(item, kind, cls))
+                methods.add(id(item))
+    for func in iter_functions(tree):
+        if id(func) in methods:
+            continue
+        params = func.args.posonlyargs + func.args.args
+        if params and params[0].arg in THREAD_PARAM_NAMES \
+                and is_generator(func):
+            out.append(MigratableContext(func, "thread body"))
+    return out

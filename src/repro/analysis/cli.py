@@ -1,0 +1,113 @@
+"""migralint command line: ``python -m repro.analysis <paths>``.
+
+Exit codes follow lint-tool convention:
+
+* ``0`` — analyzed cleanly, no unsuppressed findings;
+* ``1`` — at least one unsuppressed finding;
+* ``2`` — usage error (no paths, unknown rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.core import Rule, all_rules, analyze_paths
+from repro.analysis.reporters import render_human, render_json
+
+__all__ = ["main", "build_parser"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="migralint",
+        description=("Static migration-safety analysis for repro programs: "
+                     "checks the paper's PUP / swap-global / isomalloc / "
+                     "SDAG disciplines (rules MIG001-MIG005)."))
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to analyze")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human", help="report format")
+    parser.add_argument("--select", metavar="IDS",
+                        help="comma-separated rule ids to run (default all)")
+    parser.add_argument("--disable", metavar="IDS",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="include suppressed findings in human output")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list the registered rules and exit")
+    return parser
+
+
+def _pick_rules(select: Optional[str],
+                disable: Optional[str]) -> List[Rule]:
+    """Resolve --select/--disable against the registry.
+
+    Raises ``ValueError`` naming the offending id when it is unknown.
+    """
+    rules = all_rules()
+    known = {r.id for r in rules}
+
+    def split(spec: Optional[str]) -> List[str]:
+        if not spec:
+            return []
+        ids = [part.strip().upper() for part in spec.split(",") if part.strip()]
+        for rid in ids:
+            if rid not in known:
+                raise ValueError(f"unknown rule id {rid!r} "
+                                 f"(known: {', '.join(sorted(known))})")
+        return ids
+
+    selected = split(select)
+    disabled = split(disable)
+    if selected:
+        rules = [r for r in rules if r.id in selected]
+    return [r for r in rules if r.id not in disabled]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as e:
+        # argparse already printed a message; normalize help (0) vs error (2).
+        return EXIT_CLEAN if e.code == 0 else EXIT_USAGE
+
+    try:
+        rules = _pick_rules(args.select, args.disable)
+    except ValueError as e:
+        print(f"migralint: {e}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.name:<22} [{rule.severity.value}]  "
+                  f"{rule.summary}")
+        return EXIT_CLEAN
+
+    if not args.paths:
+        print("migralint: no paths given (try: migralint src examples)",
+              file=sys.stderr)
+        return EXIT_USAGE
+
+    try:
+        findings = analyze_paths(args.paths, rules=rules)
+    except FileNotFoundError as e:
+        print(f"migralint: no such path: {e.args[0]}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_human(findings, show_suppressed=args.show_suppressed))
+    active = [f for f in findings if not f.suppressed]
+    return EXIT_FINDINGS if active else EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""The shipped migralint rules (importing this package registers them).
+
+Each module defines one rule, grounded in a specific mechanism of the
+paper: PUP traversal (MIG001), swap-global privatization (MIG002), the
+migration state contract (MIG003), SDAG coordination discipline (MIG004),
+and isomalloc address validity (MIG005).
+"""
+
+from repro.analysis.rules import (  # noqa: F401
+    mig001_pup,
+    mig002_globals,
+    mig003_state,
+    mig004_sdag,
+    mig005_isomalloc,
+)

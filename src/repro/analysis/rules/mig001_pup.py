@@ -1,0 +1,131 @@
+"""MIG001 pup-completeness: ``__init__`` state must flow through ``pup()``.
+
+Migration packs an object by running its single ``pup(p)`` traversal in
+the sizing, packing, and unpacking phases (paper Section 3.1, the PUP
+framework [19]).  A field assigned in ``__init__`` but never piped
+through the pupper silently reverts to its default on the destination
+processor; a field pupped but never initialized breaks the unpacking
+phase, which runs against a default-constructed instance.  Because one
+method serves both pack and unpack, per-phase branches must also visit
+fields in the same order — a pack/unpack order mismatch shears every
+later field in the buffer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis import astutil
+from repro.analysis.core import Finding, ModuleContext, Rule, Severity, register
+
+__all__ = ["PupCompleteness"]
+
+#: ``p.is_packing`` / ``is_unpacking`` / ``is_sizing`` phase tests.
+_PHASE_PROPS = {"is_packing", "is_unpacking", "is_sizing"}
+
+
+def _self_param(func: astutil.FuncDef) -> str:
+    params = func.args.posonlyargs + func.args.args
+    return params[0].arg if params else "self"
+
+
+def _init_assigned_attrs(init: astutil.FuncDef) -> "dict[str, int]":
+    """Attributes assigned on self anywhere in ``__init__`` -> first line."""
+    self_name = _self_param(init)
+    out: "dict[str, int]" = {}
+
+    def note(target: ast.expr) -> None:
+        for node in ast.walk(target):
+            attr = astutil.self_attr_name(node, self_name)
+            if attr is not None and attr not in out:
+                out[attr] = node.lineno
+
+    for node in astutil.walk_shallow(init):
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                note(t)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            note(node.target)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            note(node.target)
+    return out
+
+
+def _pup_touched_attrs(pup: astutil.FuncDef) -> "set[str]":
+    """Every ``self.x`` the pup traversal reads or writes."""
+    self_name = _self_param(pup)
+    out: "set[str]" = set()
+    for node in astutil.walk_shallow(pup):
+        attr = astutil.self_attr_name(node, self_name)
+        if attr is not None:
+            out.add(attr)
+    return out
+
+
+def _ordered_attrs(nodes: List[ast.stmt], self_name: str) -> List[str]:
+    """self-attributes referenced under ``nodes``, in source order, deduped."""
+    seen: List[str] = []
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            attr = astutil.self_attr_name(node, self_name)
+            if attr is not None and attr not in seen:
+                seen.append(attr)
+    return seen
+
+
+def _is_phase_test(test: ast.expr) -> bool:
+    return any(isinstance(n, ast.Attribute) and n.attr in _PHASE_PROPS
+               for n in ast.walk(test))
+
+
+@register
+class PupCompleteness(Rule):
+    """Fields assigned in ``__init__`` must round-trip through ``pup()``."""
+
+    id = "MIG001"
+    name = "pup-completeness"
+    severity = Severity.ERROR
+    summary = ("every attribute assigned in __init__ of a puppable class "
+               "must flow through pup(), and vice versa; pack/unpack "
+               "branches must visit fields in the same order")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for cls in astutil.iter_classes(ctx.tree):
+            pup = astutil.class_method(cls, "pup")
+            if pup is None:
+                continue
+            init = astutil.class_method(cls, "__init__")
+            if init is not None:
+                init_attrs = _init_assigned_attrs(init)
+                pup_attrs = _pup_touched_attrs(pup)
+                for attr, line in sorted(init_attrs.items(),
+                                         key=lambda kv: kv[1]):
+                    if attr not in pup_attrs:
+                        yield self.found(
+                            ctx, line,
+                            f"{cls.name}.__init__ assigns self.{attr} but "
+                            f"pup() never packs it — the field silently "
+                            f"resets on migration")
+                for attr in sorted(pup_attrs - set(init_attrs)):
+                    yield self.found(
+                        ctx, pup,
+                        f"{cls.name}.pup() traverses self.{attr} which "
+                        f"__init__ never assigns — unpacking runs against "
+                        f"a default-constructed instance")
+            yield from self._check_phase_order(ctx, cls, pup)
+
+    def _check_phase_order(self, ctx: ModuleContext, cls: ast.ClassDef,
+                           pup: astutil.FuncDef) -> Iterator[Finding]:
+        self_name = _self_param(pup)
+        for node in astutil.walk_shallow(pup):
+            if not isinstance(node, ast.If) or not _is_phase_test(node.test):
+                continue
+            a = _ordered_attrs(node.body, self_name)
+            b = _ordered_attrs(node.orelse, self_name)
+            if len(a) > 1 and set(a) == set(b) and a != b:
+                yield self.found(
+                    ctx, node,
+                    f"{cls.name}.pup() packs fields in order "
+                    f"{a} on one phase branch but {b} on the other — "
+                    f"pack and unpack must traverse the same byte order")

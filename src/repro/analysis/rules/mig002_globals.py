@@ -1,0 +1,72 @@
+"""MIG002 unprivatized-global: raw module globals in migratable bodies.
+
+Section 3.1.1 of the paper: unmodified global variables are shared by
+every user-level thread on a processor, so two migratable flows touching
+the same global race — and after migration the value does not travel.
+The swap-global mechanism fixes this by giving each thread a private
+copy reached through its own GOT (:class:`repro.core.swapglobal.GlobalRegistry`
+/ ``GlobalOffsetTable``); thread bodies should use
+``th.global_read_int``/``th.global_write_int`` (or thread-local state)
+instead of touching module-level mutables directly.
+
+The rule flags any reference to a module-level *mutable* global (list /
+dict / set bindings) from inside a migratable context — a Chare or Poser
+method, an SDAG method, or a generator thread body — plus any ``global``
+declaration of one.  Immutable module constants (numbers, strings,
+tuples, frozen configs) are fine: they are the same on every processor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis import astutil
+from repro.analysis.core import Finding, ModuleContext, Rule, Severity, register
+
+__all__ = ["UnprivatizedGlobal"]
+
+
+@register
+class UnprivatizedGlobal(Rule):
+    """Module-level mutable globals used inside migratable flow bodies."""
+
+    id = "MIG002"
+    name = "unprivatized-global"
+    severity = Severity.ERROR
+    summary = ("module-level mutable globals referenced inside "
+               "UThread/chare/SDAG bodies bypass GlobalRegistry "
+               "privatization (swap-global, paper §3.1.1)")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        mutables = astutil.module_mutable_globals(ctx.tree)
+        if not mutables:
+            return
+        for mc in astutil.migratable_contexts(ctx.tree):
+            locals_ = astutil.local_names(mc.func)
+            reported: "set[tuple[str, int]]" = set()
+            for node in astutil.walk_shallow(mc.func):
+                if isinstance(node, ast.Global):
+                    for name in node.names:
+                        if name in mutables:
+                            key = (name, node.lineno)
+                            if key not in reported:
+                                reported.add(key)
+                                yield self._finding(ctx, node.lineno, name, mc)
+                elif isinstance(node, ast.Name) \
+                        and isinstance(node.ctx, ast.Load) \
+                        and node.id in mutables \
+                        and node.id not in locals_:
+                    key = (node.id, node.lineno)
+                    if key not in reported:
+                        reported.add(key)
+                        yield self._finding(ctx, node.lineno, node.id, mc)
+
+    def _finding(self, ctx: ModuleContext, line: int, name: str,
+                 mc: astutil.MigratableContext) -> Finding:
+        return self.found(
+            ctx, line,
+            f"{mc.describe} touches module-level mutable global {name!r} "
+            f"without swap-global privatization — shared across flows and "
+            f"left behind on migration (use GlobalRegistry or pass state "
+            f"explicitly)")

@@ -1,0 +1,115 @@
+"""MIG003 non-migratable-state: host objects held across suspension.
+
+Migration ships a flow's state — stack, isomalloc heap, PUP'ed fields —
+over the simulated wire (paper Section 3).  Host-process resources are
+the one thing that cannot travel: an OS lock, an open file descriptor,
+a socket, or a kernel thread is meaningful only in the process that
+created it.  Holding one in a migratable object's attribute, or in a
+thread-body local that lives across a ``yield`` (any suspension point is
+a potential migration point), produces an object that unpacks into
+garbage on the destination processor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis import astutil
+from repro.analysis.core import Finding, ModuleContext, Rule, Severity, register
+
+__all__ = ["NonMigratableState"]
+
+#: Dotted call targets that construct host-process-bound resources.
+_NONMIG_CALLS = {
+    "open", "io.open", "os.open", "os.fdopen", "os.pipe",
+    "socket.socket", "socket.create_connection",
+    "subprocess.Popen", "mmap.mmap",
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Event", "threading.Semaphore", "threading.BoundedSemaphore",
+    "threading.Barrier", "threading.Thread", "threading.local",
+    "multiprocessing.Process", "multiprocessing.Pool",
+    "multiprocessing.Queue", "multiprocessing.Lock",
+    "tempfile.TemporaryFile", "tempfile.NamedTemporaryFile",
+}
+
+#: Bare constructor names (``from threading import Lock`` style).
+_NONMIG_BARE = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+                "Barrier", "Popen"}
+
+
+def _nonmig_call(node: ast.expr) -> Optional[str]:
+    """The offending constructor name if ``node`` builds host state."""
+    if not isinstance(node, ast.Call):
+        return None
+    name = astutil.call_name(node)
+    if name in _NONMIG_CALLS or name in _NONMIG_BARE:
+        return name
+    return None
+
+
+def _contains_yield(node: ast.AST) -> bool:
+    return any(isinstance(n, (ast.Yield, ast.YieldFrom))
+               for n in ast.walk(node))
+
+
+@register
+class NonMigratableState(Rule):
+    """Locks/files/sockets stored in migratable state or held over yields."""
+
+    id = "MIG003"
+    name = "non-migratable-state"
+    severity = Severity.ERROR
+    summary = ("locks, file handles, sockets, and other host-process "
+               "objects held in thread/chare state across a suspension "
+               "point cannot cross the simulated wire")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        # Attributes of migratable classes: bad no matter the control flow —
+        # the object as a whole is subject to PUP-based migration.
+        for cls in astutil.iter_classes(ctx.tree):
+            if not astutil.is_migratable_class(cls):
+                continue
+            for func in cls.body:
+                if not isinstance(func, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                params = func.args.posonlyargs + func.args.args
+                self_name = params[0].arg if params else "self"
+                for node in astutil.walk_shallow(func):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    bad = _nonmig_call(node.value)
+                    if bad is None:
+                        continue
+                    for t in node.targets:
+                        attr = astutil.self_attr_name(t, self_name)
+                        if attr is not None:
+                            yield self.found(
+                                ctx, node,
+                                f"{cls.name}.{func.name} stores {bad}() in "
+                                f"self.{attr} — host-process state cannot "
+                                f"migrate with the object")
+        # Thread-body locals: bad when the resource spans a yield, i.e. a
+        # suspension during which the thread may be packed and shipped.
+        for mc in astutil.migratable_contexts(ctx.tree):
+            if not astutil.is_generator(mc.func):
+                continue
+            for node in astutil.walk_shallow(mc.func):
+                if isinstance(node, ast.Assign):
+                    bad = _nonmig_call(node.value)
+                    if bad is not None:
+                        yield self.found(
+                            ctx, node,
+                            f"{mc.describe} holds {bad}() in a local that "
+                            f"lives across yields — the handle dangles if "
+                            f"the flow migrates while suspended")
+                elif isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        bad = _nonmig_call(item.context_expr)
+                        if bad is not None and _contains_yield(node):
+                            yield self.found(
+                                ctx, item.context_expr,
+                                f"{mc.describe} enters a {bad}() context "
+                                f"spanning a yield — the resource cannot "
+                                f"follow the flow to another processor")

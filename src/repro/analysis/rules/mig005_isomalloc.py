@@ -1,0 +1,120 @@
+"""MIG005 isomalloc-escape: simulated addresses leaking into host state.
+
+Isomalloc's guarantee (paper Section 3.4.2) is that an address returned
+by a thread's ``malloc``/``alloca`` stays valid *for that thread*, on
+whatever processor it migrates to, because the slot's virtual range is
+reserved cluster-wide and its pages travel with the thread.  The
+guarantee says nothing about anyone else: an address stashed in a
+module-level host container outlives the thread's residency — after the
+thread migrates away the address points at a reserved-but-unbacked
+range (a page fault), or worse, at another thread's re-used slot.  The
+same applies to ``AddressSpace.mmap`` mappings captured outside the
+owning flow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from repro.analysis import astutil
+from repro.analysis.core import Finding, ModuleContext, Rule, Severity, register
+
+__all__ = ["IsomallocEscape"]
+
+#: Method names whose results are simulated addresses / address ranges.
+_ALLOC_ATTRS = {"malloc", "alloca", "mmap"}
+
+#: Container mutators that capture a value into the receiver.
+_CAPTURE_METHODS = {"append", "add", "insert", "extend", "setdefault",
+                    "update"}
+
+
+def _alloc_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _ALLOC_ATTRS)
+
+
+def _tainted_names(func: astutil.FuncDef) -> Dict[str, int]:
+    """Locals assigned (directly) from an allocator call -> line."""
+    out: Dict[str, int] = {}
+    for node in astutil.walk_shallow(func):
+        if isinstance(node, ast.Assign) and _alloc_call(node.value):
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    out[t.id] = node.lineno
+    return out
+
+
+def _carries_address(expr: ast.expr, tainted: Dict[str, int]) -> bool:
+    """Whether ``expr`` contains an allocator result (directly or by name)."""
+    for node in ast.walk(expr):
+        if _alloc_call(node):
+            return True
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load) \
+                and node.id in tainted:
+            return True
+    return False
+
+
+@register
+class IsomallocEscape(Rule):
+    """Addresses from malloc/alloca/mmap stored in non-migrating containers."""
+
+    id = "MIG005"
+    name = "isomalloc-escape"
+    severity = Severity.WARNING
+    summary = ("simulated addresses from AddressSpace/isomalloc stored "
+               "into module-level host containers dangle once the owning "
+               "flow migrates away")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        mutables = astutil.module_mutable_globals(ctx.tree)
+        for func in astutil.iter_functions(ctx.tree):
+            tainted = _tainted_names(func)
+            locals_ = astutil.local_names(func)
+            globals_decl: Set[str] = set()
+            for node in astutil.walk_shallow(func):
+                if isinstance(node, ast.Global):
+                    globals_decl.update(node.names)
+
+            def is_global_container(name_node: ast.expr) -> bool:
+                return (isinstance(name_node, ast.Name)
+                        and name_node.id in mutables
+                        and (name_node.id not in locals_
+                             or name_node.id in globals_decl))
+
+            for node in astutil.walk_shallow(func):
+                if isinstance(node, ast.Assign):
+                    if not _carries_address(node.value, tainted):
+                        continue
+                    for t in node.targets:
+                        if isinstance(t, ast.Subscript) \
+                                and is_global_container(t.value):
+                            yield self.found(
+                                ctx, node,
+                                f"simulated address stored into "
+                                f"module-level container "
+                                f"{t.value.id!r} — it dangles once the "
+                                f"owning flow migrates (keep addresses in "
+                                f"migratable state)")
+                        elif isinstance(t, ast.Name) \
+                                and t.id in globals_decl \
+                                and t.id in mutables:
+                            yield self.found(
+                                ctx, node,
+                                f"simulated address assigned to global "
+                                f"{t.id!r} — it dangles once the owning "
+                                f"flow migrates")
+                elif isinstance(node, ast.Call) \
+                        and isinstance(node.func, ast.Attribute) \
+                        and node.func.attr in _CAPTURE_METHODS \
+                        and is_global_container(node.func.value):
+                    if any(_carries_address(a, tainted) for a in node.args):
+                        yield self.found(
+                            ctx, node,
+                            f"simulated address captured via "
+                            f"{node.func.value.id}.{node.func.attr}() into "
+                            f"a module-level container — it dangles once "
+                            f"the owning flow migrates")

@@ -16,7 +16,7 @@ and :mod:`repro.vm`:
 """
 
 from repro.core.context import MinimalSwap, RegisterFile, SWAP32, SWAP64
-from repro.core.pup import (PackingPupper, Puppable, SizingPupper,
+from repro.core.pup import (PackingPupper, Puppable, PupError, SizingPupper,
                             UnpackingPupper, pup_pack, pup_register,
                             pup_unpack)
 from repro.core.swapglobal import GlobalRegistry, GlobalOffsetTable
@@ -36,6 +36,7 @@ __all__ = [
     "SWAP32",
     "SWAP64",
     "Puppable",
+    "PupError",
     "SizingPupper",
     "PackingPupper",
     "UnpackingPupper",

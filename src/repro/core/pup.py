@@ -98,6 +98,28 @@ class BasePupper:
     #: Which phase this pupper runs ("sizing" | "packing" | "unpacking").
     phase = "?"
 
+    # -- error context -------------------------------------------------------
+    # The pupper tracks which registered class it is traversing (a stack,
+    # for nested obj() fields) and a running field counter, so a mismatch
+    # surfaces as "PupError: ... in Particle (field #3, unpacking)" instead
+    # of a bare struct.error with no hint of the offending pup() method.
+
+    def _enter(self, name: str) -> None:
+        if not hasattr(self, "_ctx"):
+            self._ctx: List[str] = []
+        self._ctx.append(name)
+
+    def _exit(self) -> None:
+        self._ctx.pop()
+
+    def _tick(self) -> None:
+        self._fields = getattr(self, "_fields", 0) + 1
+
+    def _where(self) -> str:
+        stack = getattr(self, "_ctx", None)
+        ctx = ".".join(stack) if stack else "<top-level value>"
+        return f"in {ctx} (field #{getattr(self, '_fields', 0)}, {self.phase})"
+
     @property
     def is_sizing(self) -> bool:
         """True in the sizing phase."""
@@ -195,7 +217,11 @@ class BasePupper:
             if cls is None:
                 raise PupError(f"unpacking unknown pup class {name!r}")
             inst = _fresh_instance(cls)
-            inst.pup(self)
+            self._enter(name)
+            try:
+                inst.pup(self)
+            finally:
+                self._exit()
             return inst
         if v is None:
             raise PupError("obj field requires a value when sizing/packing")
@@ -203,7 +229,11 @@ class BasePupper:
         if name is None:
             raise PupError(f"{type(v).__name__} is not pup_register'ed")
         self._blob(name.encode("utf-8"))
-        v.pup(self)
+        self._enter(name)
+        try:
+            v.pup(self)
+        finally:
+            self._exit()
         return v
 
     def list_obj(self, v: Optional[List[Any]] = None) -> List[Any]:
@@ -226,11 +256,13 @@ class SizingPupper(BasePupper):
         self.size = 0
 
     def _prim(self, fmt: str, value: Any) -> Any:
+        self._tick()
         self.size += struct.calcsize(fmt)
         return value
 
     def _blob(self, value: Optional[bytes]) -> bytes:
         assert value is not None
+        self._tick()
         self.size += 8 + len(value)
         return value
 
@@ -244,11 +276,18 @@ class PackingPupper(BasePupper):
         self._chunks: List[bytes] = []
 
     def _prim(self, fmt: str, value: Any) -> Any:
-        self._chunks.append(struct.pack(fmt, value))
+        self._tick()
+        try:
+            self._chunks.append(struct.pack(fmt, value))
+        except struct.error as e:
+            raise PupError(
+                f"cannot pack {value!r} as {fmt!r} {self._where()}: {e}"
+            ) from None
         return value
 
     def _blob(self, value: Optional[bytes]) -> bytes:
         assert value is not None
+        self._tick()
         self._chunks.append(struct.pack("<Q", len(value)))
         self._chunks.append(value)
         return value
@@ -268,9 +307,12 @@ class UnpackingPupper(BasePupper):
         self._offset = 0
 
     def _prim(self, fmt: str, value: Any) -> Any:
+        self._tick()
         size = struct.calcsize(fmt)
         if self._offset + size > len(self._data):
-            raise PupError("unpack ran past end of buffer")
+            raise PupError(
+                f"unpack of {fmt!r} ran past end of buffer {self._where()} "
+                f"— truncated blob or pup() size mismatch")
         out = struct.unpack_from(fmt, self._data, self._offset)[0]
         self._offset += size
         return out
@@ -278,7 +320,9 @@ class UnpackingPupper(BasePupper):
     def _blob(self, value: Optional[bytes]) -> bytes:
         n = self._prim("<Q", 0)
         if self._offset + n > len(self._data):
-            raise PupError("unpack blob ran past end of buffer")
+            raise PupError(
+                f"unpack of a {n}-byte blob ran past end of buffer "
+                f"{self._where()} — truncated blob or pup() size mismatch")
         out = self._data[self._offset:self._offset + n]
         self._offset += n
         return bytes(out)
@@ -296,8 +340,13 @@ class UnpackingPupper(BasePupper):
 def pup_size(obj: Puppable) -> int:
     """Bytes :func:`pup_pack` will produce for ``obj`` (sizing phase)."""
     p = SizingPupper()
-    p._blob(getattr(type(obj), "_pup_name", type(obj).__qualname__).encode())
-    obj.pup(p)
+    name = getattr(type(obj), "_pup_name", type(obj).__qualname__)
+    p._blob(name.encode())
+    p._enter(name)
+    try:
+        obj.pup(p)
+    finally:
+        p._exit()
     return p.size
 
 
@@ -308,7 +357,11 @@ def pup_pack(obj: Puppable) -> bytes:
         raise PupError(f"{type(obj).__name__} is not pup_register'ed")
     p = PackingPupper()
     p._blob(name.encode("utf-8"))
-    obj.pup(p)
+    p._enter(name)
+    try:
+        obj.pup(p)
+    finally:
+        p._exit()
     return p.buffer()
 
 
@@ -320,9 +373,15 @@ def pup_unpack(data: bytes) -> Any:
     if cls is None:
         raise PupError(f"unpacking unknown pup class {name!r}")
     inst = _fresh_instance(cls)
-    inst.pup(p)
+    p._enter(name)
+    try:
+        inst.pup(p)
+    finally:
+        p._exit()
     if not p.exhausted:
-        raise PupError("trailing bytes after unpack — pup() asymmetry?")
+        raise PupError(
+            f"{name}: {len(p._data) - p._offset} trailing bytes after "
+            f"unpack — over-long blob or pup() asymmetry")
     return inst
 
 

@@ -1,0 +1,1 @@
+# Fixture modules are analyzed (AST only), never imported or executed.

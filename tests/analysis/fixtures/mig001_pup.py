@@ -1,0 +1,75 @@
+"""MIG001 fixture: pup-completeness violations, a clean class, a suppression.
+
+Lines carrying expect-markers are where the analyzer must report;
+everything else must stay silent.  This module is only ever parsed.
+"""
+
+from repro.core.pup import pup_register
+
+
+@pup_register
+class BadDropsField:
+    """``dropped`` is assigned in __init__ but never packed."""
+
+    def __init__(self):
+        self.kept = 1
+        self.dropped = 2.0  # expect: MIG001
+
+    def pup(self, p):
+        self.kept = p.int(self.kept)
+
+
+@pup_register
+class BadPhantomField:
+    """pup() traverses a field __init__ never creates."""
+
+    def __init__(self):
+        self.real = 1
+
+    def pup(self, p):  # expect: MIG001
+        self.real = p.int(self.real)
+        self.phantom = p.int(self.phantom)
+
+
+@pup_register
+class BadOrderMismatch:
+    """Pack and unpack branches visit the fields in different orders."""
+
+    def __init__(self):
+        self.a = 1
+        self.b = 2
+
+    def pup(self, p):
+        if p.is_packing:  # expect: MIG001
+            self.a = p.int(self.a)
+            self.b = p.int(self.b)
+        else:
+            self.b = p.int(self.b)
+            self.a = p.int(self.a)
+
+
+@pup_register
+class GoodRoundTrip:
+    """Complete, symmetric traversal: no findings."""
+
+    def __init__(self):
+        self.x = 1
+        self.tags = []
+
+    def pup(self, p):
+        self.x = p.int(self.x)
+        self.tags = p.list_int(self.tags)
+
+
+@pup_register
+class SuppressedCache:
+    """A derived cache deliberately left out of pup(), with justification."""
+
+    def __init__(self):
+        self.x = 1
+        # Rebuilt lazily on first use after migration; packing it would
+        # ship redundant bytes.
+        self.cache = None  # migralint: disable=MIG001
+
+    def pup(self, p):
+        self.x = p.int(self.x)

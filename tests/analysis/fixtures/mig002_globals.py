@@ -1,0 +1,44 @@
+"""MIG002 fixture: unprivatized module globals in migratable bodies.
+
+This module is only ever parsed, never imported.
+"""
+
+from repro.charm import Chare, When
+
+live_counters = {}
+FROZEN_CONFIG = (64, 128)
+
+
+def bad_body(th):
+    """A thread body mutating a shared module global: the swap-global race."""
+    live_counters["hits"] = live_counters.get("hits", 0) + 1  # expect: MIG002
+    yield "yield"
+
+
+class BadChare(Chare):
+    """An SDAG method reading the same shared mutable."""
+
+    def lifecycle(self):
+        msg = yield When("go")
+        live_counters[self.thisIndex] = msg  # expect: MIG002
+
+
+def good_body(th):
+    """Locals and immutable module constants are fine."""
+    tally = {}
+    tally["hits"] = FROZEN_CONFIG[0]
+    yield "yield"
+    th.charge(float(tally["hits"]))
+
+
+def good_privatized_body(th):
+    """The blessed route: globals via the thread's swapped-in GOT."""
+    th.global_write_int("counter", th.global_read_int("counter") + 1)
+    yield "yield"
+
+
+def suppressed_body(th):
+    """Intentional: the test harness reads this after the run completes."""
+    # Harness-side result collection; the thread never migrates after this.
+    live_counters["done"] = True  # migralint: disable=MIG002
+    yield "suspend"

@@ -1,0 +1,52 @@
+"""MIG003 fixture: host-process state held in migratable contexts.
+
+This module is only ever parsed, never imported.
+"""
+
+import threading
+
+from repro.charm import Chare
+
+
+class BadLockChare(Chare):
+    """A kernel lock stored on a migratable object."""
+
+    def setup(self):
+        self.guard = threading.Lock()  # expect: MIG003
+
+
+class BadFileChare(Chare):
+    """An open file handle stored on a migratable object."""
+
+    def setup(self):
+        self.log = open("/tmp/chare.log", "a")  # expect: MIG003
+
+
+def bad_body(th):
+    """A file handle held in a local across a suspension point."""
+    f = open("state.bin", "rb")  # expect: MIG003
+    yield "suspend"
+    f.close()
+
+
+def bad_with_body(th):
+    """A with-block spanning a yield: the handle outlives residency."""
+    with open("trace.log", "w") as out:  # expect: MIG003
+        yield "yield"
+        out.write("resumed")
+
+
+def good_body(th):
+    """Scoped host I/O fully between suspension points is fine."""
+    with open("input.bin", "rb") as f:
+        data = f.read()
+    th.charge(float(len(data)))
+    yield "suspend"
+
+
+def suppressed_body(th):
+    """Intentional: a debugging tap used only in non-migrating runs."""
+    # Diagnostic-only handle; this body is pinned to its home processor.
+    tap = open("/dev/null", "w")  # migralint: disable=MIG003
+    yield "yield"
+    tap.close()

@@ -1,0 +1,40 @@
+"""MIG004 fixture: SDAG discipline violations.
+
+This module is only ever parsed, never imported.
+"""
+
+import time
+
+from repro.charm import Atomic, Chare, Overlap, When
+
+
+class BadYields(Chare):
+    """Yields a raw string: the FSM accepts only directives."""
+
+    def lifecycle(self):
+        yield "strip_from_left"  # expect: MIG004
+
+
+class BadBlocking(Chare):
+    """Blocks the whole processor inside an atomic section."""
+
+    def lifecycle(self):
+        time.sleep(0.1)  # expect: MIG004
+        yield When("go")
+
+
+class GoodLifecycle(Chare):
+    """Directive-only yields, non-blocking atomics: no findings."""
+
+    def lifecycle(self):
+        left, right = yield Overlap(When("left"), When("right"))
+        total = yield Atomic(lambda: left + right)
+        self.charge(float(total))
+
+
+class SuppressedTimer(Chare):
+    """Intentional bad-style example kept for the documentation."""
+
+    def lifecycle(self):
+        # Docs counter-example: what NOT to yield from an SDAG method.
+        yield ("io", 1000.0)  # migralint: disable=MIG004

@@ -1,0 +1,39 @@
+"""MIG005 fixture: isomalloc addresses escaping into host containers.
+
+The escaping lines also trip MIG002 (the containers are unprivatized
+module globals) — both ids are expected there.  This module is only
+ever parsed, never imported.
+"""
+
+shared_addrs = []
+ADDR_BOOK = {}
+
+
+def bad_append(th):
+    """An isomalloc address captured by a module-level list."""
+    block = th.malloc(64)
+    shared_addrs.append(block)  # expect: MIG002, MIG005
+    yield "suspend"
+    th.free(block)
+
+
+def bad_direct_store(th):
+    """An allocator result stored straight into a module-level dict."""
+    ADDR_BOOK[th.name] = th.malloc(16)  # expect: MIG002, MIG005
+    yield "suspend"
+
+
+def good_local(th):
+    """Addresses kept in the thread's own migratable state: fine."""
+    block = th.malloc(64)
+    th.write_word(block, 1)
+    yield "suspend"
+    th.free(block)
+
+
+def suppressed_probe(th):
+    """Intentional: a diagnostics table cleared before any migration."""
+    probe = th.malloc(8)
+    # Probe addresses are only compared for leak detection, never deref'd.
+    shared_addrs.append(probe)  # migralint: disable=MIG002,MIG005
+    yield "yield"

@@ -145,6 +145,42 @@ def test_bool_field():
     assert pup_unpack(pup_pack(Flag(False))).on is False
 
 
+# -- error-path diagnostics --------------------------------------------------
+
+def test_truncated_buffer_error_names_class_and_field():
+    """A short blob must name the class and field, not raise struct.error."""
+    blob = pup_pack(Point(1.5, 2.5))
+    with pytest.raises(PupError, match=r"Point.*field #3.*unpacking"):
+        pup_unpack(blob[:-4])
+
+
+def test_truncated_blob_length_error_names_class():
+    """Truncation inside a variable-length blob is equally diagnosable."""
+    blob = pup_pack(Blob("name", b"0123456789", [], []))
+    # Cut into the middle of the data payload: the length prefix promises
+    # 10 bytes, fewer remain, and the error must still name the class.
+    with pytest.raises(PupError, match=r"blob ran past end of buffer.*Blob"):
+        pup_unpack(blob[:-20])
+
+
+def test_overlong_buffer_error_names_class_and_byte_count():
+    blob = pup_pack(Point(1, 2))
+    with pytest.raises(PupError, match=r"Point: 5 trailing bytes"):
+        pup_unpack(blob + b"\x00" * 5)
+
+
+def test_pack_type_mismatch_raises_pup_error_not_struct_error():
+    with pytest.raises(PupError, match=r"cannot pack.*Point.*packing"):
+        pup_pack(Point("not-a-float", 2.0))
+
+
+def test_nested_error_context_names_inner_class():
+    """Errors inside a nested obj() field report the inner class path."""
+    n = Nested(Point(0, 0), [Point(1, "bad")], np.zeros((1, 1)))
+    with pytest.raises(PupError, match=r"Nested\.Point"):
+        pup_pack(n)
+
+
 # -- property tests ----------------------------------------------------------
 
 @given(x=st.floats(allow_nan=False, allow_infinity=False),

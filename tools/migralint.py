@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Repo-local migralint launcher (no install needed).
+
+Equivalent to ``python -m repro.analysis`` with ``src/`` on the path::
+
+    python tools/migralint.py src examples
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "..", "src"))
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
