@@ -1,22 +1,30 @@
 #!/usr/bin/env python3
-"""Fault tolerance via migration (paper Section 3).
+"""Fault tolerance via migration (paper Section 3), chaos-tested.
 
-Two demonstrations:
+Three demonstrations:
 
 1. **Proactive evacuation** — "migration can allow all the work to be moved
    off a processor ... to vacate a node that is expected to fail": all
    threads are drained off processor 0 before its 'failure', then finish
    on the survivors.
-2. **Coordinated checkpoint/recovery** — "checkpointing is simply migration
-   to disk": AMPI ranks hit a checkpoint barrier, their full images are
-   written to a simulated disk (real serialized bytes, at ~100 MB/s with
-   seeks), processor 0 then fails, and its ranks are rebuilt from the
-   images on the surviving processor with their heap state intact.
+2. **Coordinated checkpoint/recovery under injected failure** —
+   "checkpointing is simply migration to disk": AMPI ranks hit a
+   checkpoint barrier, their full images are written to a simulated disk
+   (real serialized bytes, at ~100 MB/s with seeks), then a *scripted
+   chaos fault* fail-stops processor 0 and its ranks are rebuilt from the
+   images on the surviving processor with their heap state intact —
+   runtime invariants checked at the injection point.
+3. **Shrinking a failure to a minimal repro** — the chaos runner
+   delta-debugs a noisy failing fault schedule down to the single fault
+   that breaks a fragile (at-most-once-assuming) reduction.
 
 Run:  python examples/fault_tolerance.py
 """
 
 from repro.ampi import AmpiRuntime
+from repro.chaos import (ChaosRunner, FaultEvent, FaultInjector,
+                         FaultSchedule, FragileReduceWorkload,
+                         wire_ampi_faults)
 from repro.core import (Checkpointer, CthScheduler, IsomallocArena,
                         IsomallocStacks, ThreadMigrator)
 from repro.sim import Cluster
@@ -65,7 +73,7 @@ def demo_evacuation():
 
 
 def demo_checkpoint_recovery():
-    print("=== Coordinated checkpoint + failure recovery ===")
+    print("=== Coordinated checkpoint + chaos-injected failure recovery ===")
     results = {}
 
     def main(mpi):
@@ -77,31 +85,51 @@ def demo_checkpoint_recovery():
         results[mpi.rank] = (total, mpi.my_pe)
 
     rt = AmpiRuntime(2, 6, main)
-
-    def inject_failure():
-        lost = [r for r in range(6) if rt.rank_pe(r) == 0]
-        print(f"  checkpoint written ({rt.checkpointer.bytes_written} bytes "
-              f"on disk); processor 0 FAILS, losing ranks {lost}")
-        sched = rt.schedulers[0]
-        for rank in lost:
-            thread = rt.rank_thread[rank]
-            sched.remove(thread)
-            sched.stack_manager.evacuate(thread.stack)
-        for rank in lost:
-            rt.recover_rank(rank, dst_pe=1)
-        print(f"  ranks {lost} restored from disk onto processor 1")
-        rt.on_checkpoint = None
-
-    rt.on_checkpoint = inject_failure
+    # The failure is a *scripted chaos fault*: at the first checkpoint
+    # barrier, crash the first live processor (fraction 0.0 -> pe0).  The
+    # harness removes pe0's ranks, marks it failed, and recovers every
+    # lost rank from its fresh on-disk image on the survivors — checking
+    # runtime invariants at the injection point.
+    schedule = FaultSchedule.scripted(
+        [FaultEvent("barrier", 0, "crash", 0.0)])
+    injector = FaultInjector(schedule)
+    wire_ampi_faults(rt, injector)
     rt.run()
+    print(f"  checkpoint written ({rt.checkpointer.bytes_written} bytes on "
+          f"disk); chaos schedule injected: {schedule.script()}")
+    print(f"  pe0 failed at the barrier; {rt.checkpointer.restores_done} "
+          f"ranks restored from disk onto pe1 "
+          f"(injector: {injector.summary()})")
     expected = sum((r + 1) * 100 for r in range(6))
     print(f"  computation completed: allreduce = "
           f"{results[0][0]} (expected {expected})")
     print(f"  final rank placement: "
           f"{[results[r][1] for r in range(6)]} — everyone on pe1's side "
-          f"of the failure")
+          f"of the failure\n")
+
+
+def demo_shrinker():
+    print("=== Shrinking a chaos failure to a minimal repro ===")
+    # A reduction that wrongly assumes at-most-once delivery, under a
+    # noisy schedule: one duplicated message plus assorted benign faults.
+    runner = ChaosRunner(FragileReduceWorkload())
+    noisy = [FaultEvent("send", 0, "dup", 100.0),
+             FaultEvent("send", 1, "delay", 9_000.0),
+             FaultEvent("send", 2, "reorder"),
+             FaultEvent("migrate", 0, "abort")]
+    result = runner.replay(noisy)
+    print(f"  noisy schedule: {len(noisy)} faults -> outcome "
+          f"{result.outcome!r} ({result.detail})")
+    minimal = runner.shrink(noisy)
+    print(f"  ddmin shrink: {len(noisy)} faults -> {len(minimal)}; the "
+          f"culprit is {minimal[0]!r}")
+    replay = runner.replay(minimal)
+    print(f"  minimal schedule still fails ({replay.outcome}) and replays "
+          f"byte-identically: fingerprint {replay.fingerprint()[:16]}...")
+    print(f"  repro_script() renders it as a runnable bug report")
 
 
 if __name__ == "__main__":
     demo_evacuation()
     demo_checkpoint_recovery()
+    demo_shrinker()

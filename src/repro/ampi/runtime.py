@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
 
-from repro.errors import AmpiError
+from repro.errors import AmpiError, CheckpointError, MigrationAborted
 from repro.ampi.context import AmpiContext, AmpiMessage
 from repro.ampi.datatypes import ANY_SOURCE, ANY_TAG
 from repro.balance.instrument import LBDatabase
@@ -125,6 +125,14 @@ class AmpiRuntime:
         self.on_checkpoint: Optional[Callable[[], None]] = None
         self.checkpointer = Checkpointer(self.migrator)
         self._lb_moves: List[Tuple[int, int]] = []
+        #: tid -> rank, for placement bookkeeping on thread arrival (tids
+        #: are stable across migration; never key runtime state on id()).
+        self._rank_of_tid: Dict[tuple, int] = {}
+        #: LB moves the migrator aborted twice; the rank stayed home.
+        self.migrations_abandoned = 0
+        #: True while a rebalance transaction is applying its moves; the
+        #: LB database legitimately leads reality inside this window.
+        self.rebalance_in_progress = False
         self.reports: List[RebalanceReport] = []
         for proc in self.cluster.processors:
             TagDispatcher.of(proc).register(_TAG, self._on_message)
@@ -139,6 +147,7 @@ class AmpiRuntime:
                 privatize_globals=bool(globals_decl))
             self.rank_thread.append(thread)
             self.rank_ctx.append(ctx)
+            self._rank_of_tid[thread.tid] = rank
             self.db.register(rank, pe)
 
     # ------------------------------------------------------------------
@@ -260,9 +269,17 @@ class AmpiRuntime:
         ranks = sorted(self._at_checkpoint)
         self._at_checkpoint.clear()
         for rank in ranks:
-            self.last_checkpoint[rank] = self.checkpointer.checkpoint(
-                self.rank_thread[rank], key=f"ampi-r{rank}-"
-                f"e{self.checkpointer.checkpoints_taken}")
+            key = (f"ampi-r{rank}-"
+                   f"e{self.checkpointer.checkpoints_taken}")
+            try:
+                self.last_checkpoint[rank] = self.checkpointer.checkpoint(
+                    self.rank_thread[rank], key=key)
+            except CheckpointError:
+                # Transient disk error: one retry.  A second failure
+                # propagates — a checkpoint the runtime cannot write is a
+                # real outage, not something to paper over.
+                self.last_checkpoint[rank] = self.checkpointer.checkpoint(
+                    self.rank_thread[rank], key=key)
         if self.on_checkpoint is not None:
             self.on_checkpoint()
         for rank in ranks:
@@ -288,7 +305,11 @@ class AmpiRuntime:
         self._lb_moves.append((rank, dst_pe))
 
     def _thread_arrived(self, thread: UThread) -> None:
-        pass  # placement bookkeeping reads thread.scheduler directly
+        # Keep the LB database honest about where ranks really are —
+        # matters when a migration bounced back to its source processor.
+        rank = self._rank_of_tid.get(thread.tid)
+        if rank is not None and self.db.tracks(rank):
+            self.db.moved(rank, thread.scheduler.processor.id)
 
     def _run_rebalance(self) -> None:
         ranks = sorted(self._at_migrate)
@@ -296,10 +317,27 @@ class AmpiRuntime:
         self._lb_moves.clear()
         for pe, proc in enumerate(self.cluster.processors):
             self.db.set_pe_speed(pe, max(1e-6, 1.0 - proc.background_load))
-        report = self.lb.rebalance()          # fills _lb_moves
-        for rank, dst in self._lb_moves:
-            self.migrator.migrate(self.rank_thread[rank], dst)
-        self.cluster.run()                    # deliver the thread images
+        self.rebalance_in_progress = True
+        try:
+            report = self.lb.rebalance()      # fills _lb_moves
+            for rank, dst in self._lb_moves:
+                thread = self.rank_thread[rank]
+                try:
+                    self.migrator.migrate(thread, dst)
+                except MigrationAborted:
+                    # Abort-and-retry: the abort happened before any
+                    # state moved, so one retry is safe; if that aborts
+                    # too the rank stays home and the database is told
+                    # the truth.
+                    try:
+                        self.migrator.migrate(thread, dst)
+                    except MigrationAborted:
+                        self.migrations_abandoned += 1
+                        self.db.moved(rank,
+                                      thread.scheduler.processor.id)
+            self.cluster.run()                # deliver the thread images
+        finally:
+            self.rebalance_in_progress = False
         self.reports.append(report)
         for rank in ranks:
             thread = self.rank_thread[rank]

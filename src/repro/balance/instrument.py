@@ -59,6 +59,10 @@ class LBDatabase:
         """Total bytes between two objects, both directions."""
         return self._comm.get((a, b), 0) + self._comm.get((b, a), 0)
 
+    def tracks(self, obj: Hashable) -> bool:
+        """Whether ``obj`` is currently registered (live)."""
+        return obj in self._pe
+
     def moved(self, obj: Hashable, pe: int) -> None:
         """Note that an object migrated to ``pe``."""
         self._pe[obj] = pe

@@ -7,6 +7,7 @@ from typing import Callable, Hashable
 
 from repro.balance.instrument import LBDatabase
 from repro.balance.strategies import Strategy
+from repro.errors import MigrationError
 
 __all__ = ["LBManager", "RebalanceReport"]
 
@@ -21,10 +22,15 @@ class RebalanceReport:
     migrations: int
     imbalance_before: float
     imbalance_after: float
+    #: Moves the strategy wanted that ``migrate_fn`` refused
+    #: (:class:`~repro.errors.MigrationError`); those objects stayed put
+    #: and the database still records their true placement.
+    failed: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tail = f" ({self.failed} failed)" if self.failed else ""
         return (f"[{self.strategy} epoch {self.epoch}] {self.objects} objs, "
-                f"{self.migrations} migrations, max/avg "
+                f"{self.migrations} migrations{tail}, max/avg "
                 f"{self.imbalance_before:.2f} -> {self.imbalance_after:.2f}")
 
 
@@ -59,9 +65,18 @@ class LBManager:
             raise ValueError(
                 f"{self.strategy.name} dropped objects: {sorted(map(str, missing))}")
         moves = 0
+        failed = 0
         for obj, dst in sorted(new.items(), key=lambda kv: str(kv[0])):
             if current.get(obj) != dst:
-                self.migrate_fn(obj, dst)
+                # The database is only told about moves that actually
+                # happened: a migrate_fn failure leaves the object's
+                # recorded placement — and reality — unchanged, and the
+                # rebalance presses on with the remaining moves.
+                try:
+                    self.migrate_fn(obj, dst)
+                except MigrationError:
+                    failed += 1
+                    continue
                 self.db.moved(obj, dst)
                 moves += 1
         after = self.db.imbalance()
@@ -72,6 +87,7 @@ class LBManager:
             migrations=moves,
             imbalance_before=before,
             imbalance_after=after,
+            failed=failed,
         )
         self.reports.append(report)
         self.db.reset_loads()

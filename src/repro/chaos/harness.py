@@ -1,0 +1,230 @@
+"""Wiring faults into an AMPI run and classifying what comes out.
+
+:func:`wire_ampi_faults` attaches a :class:`FaultInjector` to a built
+:class:`~repro.ampi.runtime.AmpiRuntime` — message faults on the cluster,
+abort/bounce on the migrator, disk faults on the checkpointer, and
+processor crash/evacuation at coordinated checkpoint barriers (the one
+point where every live rank has a fresh image on disk and the event queue
+is provably empty, so fail-stop recovery is well-defined).
+
+:func:`drive_ampi_chaos` runs a chaos workload under a schedule and
+reduces the run to a :class:`ChaosResult` with one of four outcomes:
+
+* ``pass`` — the run finished, every invariant holds, the answer is right;
+* ``detected`` — the runtime *cleanly* reported an injected problem (a
+  deadlock from a dropped message, a checkpoint that failed its integrity
+  check): acceptable behavior under fault;
+* ``violation`` — an invariant failed or the run finished with a wrong
+  answer: the finding chaos testing exists to surface;
+* ``error`` — a non-library exception escaped: a bug, full stop.
+
+The result also carries SHA-256 hashes of the message trace and final
+state, so "reproduces byte-identically" is a string comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.chaos.faults import FaultEvent, FaultSchedule
+from repro.chaos.injector import FaultInjector
+from repro.chaos.invariants import ChaosContext, check_invariants
+from repro.errors import ChaosError, InvariantViolation, ReproError
+
+__all__ = ["ChaosResult", "wire_ampi_faults", "drive_ampi_chaos"]
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """One chaos run, reduced to its reproducible essentials."""
+
+    workload: str
+    seed: Optional[int]
+    outcome: str                       # pass | detected | violation | error
+    detail: str
+    schedule: List[FaultEvent]         # faults actually applied
+    trace_hash: str                    # SHA-256 of the message trace
+    state_hash: str                    # SHA-256 of the final state
+    makespan_ns: float
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        """Whether this run is a chaos *finding* (violation or error)."""
+        return self.outcome in ("violation", "error")
+
+    def fingerprint(self) -> str:
+        """One hash identifying the run's full observable behavior."""
+        return hashlib.sha256(
+            (self.trace_hash + self.state_hash).encode()).hexdigest()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tail = f" ({self.detail})" if self.detail else ""
+        return (f"[{self.workload} seed={self.seed}] {self.outcome}{tail}; "
+                f"{len(self.schedule)} faults, "
+                f"fingerprint {self.fingerprint()[:12]}")
+
+
+# ---------------------------------------------------------------------------
+# wiring
+# ---------------------------------------------------------------------------
+
+def wire_ampi_faults(rt, injector: FaultInjector) -> ChaosContext:
+    """Attach an injector to every faultable layer of an AMPI runtime.
+
+    Returns the :class:`ChaosContext` the invariant checkers run against.
+    Invariants are checked after every applied fault; barrier faults
+    (processor crash / proactive evacuation) are applied through the
+    runtime's ``on_checkpoint`` hook, chained before any hook already
+    installed.
+    """
+    injector.attach(rt.cluster, rt.checkpointer)
+    ctx = ChaosContext(runtime=rt, injector=injector)
+    injector.on_inject = lambda ev: check_invariants(ctx, "inject")
+    prev_hook = rt.on_checkpoint
+
+    def barrier_hook():
+        ev = injector.on_barrier()
+        if ev is not None:
+            _apply_barrier_fault(rt, injector, ev)
+        if prev_hook is not None:
+            prev_hook()
+
+    rt.on_checkpoint = barrier_hook
+    return ctx
+
+
+def _pick_victim(rt, fraction: float) -> Optional[int]:
+    """Map a schedule fraction onto a live processor, or None to skip.
+
+    Barrier faults never take down the last live processor — a machine
+    with no survivors has no recovery story to test.
+    """
+    live = [p.id for p in rt.cluster.processors if not p.failed]
+    if len(live) < 2:
+        return None
+    return live[min(int(float(fraction) * len(live)), len(live) - 1)]
+
+
+def _apply_barrier_fault(rt, injector: FaultInjector,
+                         ev: FaultEvent) -> None:
+    victim = _pick_victim(rt, ev.arg or 0.0)
+    if victim is None:
+        return
+    survivors = [p.id for p in rt.cluster.processors
+                 if not p.failed and p.id != victim]
+    if ev.kind == "crash":
+        _crash_processor(rt, victim, survivors)
+    elif ev.kind == "evac":
+        _evacuate_processor(rt, victim, survivors)
+    else:
+        raise ChaosError(f"unknown barrier fault kind {ev.kind!r}")
+    injector.record_barrier(ev)
+
+
+def _crash_processor(rt, victim: int, survivors: List[int]) -> None:
+    """Fail-stop a processor right after a coordinated checkpoint.
+
+    Every live rank has a fresh image on the simulated disk and the event
+    queue is empty, so the lost ranks' threads are destroyed and rebuilt
+    from their checkpoints on the survivors, round-robin.
+    """
+    sched = rt.schedulers[victim]
+    lost = [r for r in range(rt.num_ranks)
+            if rt.db.tracks(r) and rt.rank_pe(r) == victim]
+    for rank in lost:
+        thread = rt.rank_thread[rank]
+        sched.remove(thread)
+        sched.stack_manager.evacuate(thread.stack)
+    rt.cluster[victim].failed = True
+    for i, rank in enumerate(lost):
+        rt.recover_rank(rank, survivors[i % len(survivors)])
+
+
+def _evacuate_processor(rt, victim: int, survivors: List[int]) -> None:
+    """Proactively drain a processor, then mark it failed once empty.
+
+    The paper's "vacate a node that is expected to fail": threads migrate
+    off while the node still works.  If fault injection aborts every
+    attempt for some thread, the node stays up (a half-evacuated node
+    cannot fail-stop without losing threads).
+    """
+    rt.checkpointer.evacuate(victim, targets=survivors)
+    rt.cluster.run()  # complete the thread-image deliveries
+    if not rt.schedulers[victim].threads:
+        rt.cluster[victim].failed = True
+
+
+# ---------------------------------------------------------------------------
+# driving
+# ---------------------------------------------------------------------------
+
+def drive_ampi_chaos(workload, schedule: FaultSchedule,
+                     seed: Optional[int] = None) -> ChaosResult:
+    """Run one chaos workload under one fault schedule and classify it.
+
+    ``workload`` is any object with ``name`` and
+    ``build() -> (runtime, check_fn)`` (see
+    :mod:`repro.chaos.workloads`); ``check_fn(rt)`` judges the final
+    answer.
+    """
+    rt, check = workload.build()
+    rt.cluster.enable_tracing()
+    injector = FaultInjector(schedule)
+    ctx = wire_ampi_faults(rt, injector)
+    outcome, detail = "pass", ""
+    try:
+        rt.run()
+        check_invariants(ctx, "quiescence")
+        if not check(rt):
+            outcome = "violation"
+            detail = "workload finished with an incorrect result"
+    except InvariantViolation as e:
+        outcome, detail = "violation", str(e)
+    except ReproError as e:
+        outcome, detail = "detected", f"{type(e).__name__}: {e}"
+    except Exception as e:  # noqa: BLE001 - the whole point is to catch it
+        outcome, detail = "error", f"{type(e).__name__}: {e}"
+    return ChaosResult(
+        workload=workload.name,
+        seed=seed,
+        outcome=outcome,
+        detail=detail,
+        schedule=schedule.script(),
+        trace_hash=_hash_trace(rt),
+        state_hash=_hash_state(rt, injector, outcome, detail),
+        makespan_ns=rt.makespan_ns,
+        counters=dict(injector.counters),
+    )
+
+
+def _hash_trace(rt) -> str:
+    """SHA-256 of the full message trace.
+
+    Trace tuples are (send_time, src, dst, tag, size): everything that
+    identifies a message *except* its global ``msg_id``, which counts
+    across runs in one process and would break replay comparison.
+    """
+    h = hashlib.sha256()
+    for entry in (rt.cluster.message_trace or []):
+        h.update(repr(entry).encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def _hash_state(rt, injector: FaultInjector, outcome: str,
+                detail: str) -> str:
+    """SHA-256 of the final runtime state and fault bookkeeping."""
+    state = (
+        tuple(rt.pe_of_ranks()),
+        rt.makespan_ns,
+        rt._finished,
+        tuple(p.failed for p in rt.cluster.processors),
+        tuple(sorted(injector.counters.items())),
+        tuple(repr(ev) for ev in injector.schedule.injected),
+        outcome,
+        detail,
+    )
+    return hashlib.sha256(repr(state).encode()).hexdigest()

@@ -1,0 +1,128 @@
+"""The chaos runner: sweep seeds, replay failures, shrink them to minimal.
+
+A :class:`ChaosRunner` binds one workload to one :class:`FaultConfig` and
+offers the full reproduce-and-minimize loop:
+
+* :meth:`run_seed` — one seeded run;
+* :meth:`sweep` — many seeds, one :class:`ChaosResult` each;
+* :meth:`replay` — re-run an explicit fault script; a failing seeded
+  run's recorded schedule replays to the *same fingerprint*;
+* :meth:`shrink` — ddmin-style delta debugging over a failing schedule,
+  returning the smallest sub-schedule that still fails;
+* :meth:`repro_script` — a runnable Python file reproducing a result
+  from its ``(seed, schedule)`` pair, suitable for a bug report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence
+
+from repro.chaos.faults import FaultConfig, FaultEvent, FaultSchedule
+from repro.chaos.harness import ChaosResult, drive_ampi_chaos
+from repro.chaos.workloads import ChaosWorkload
+from repro.errors import ChaosError
+
+__all__ = ["ChaosRunner"]
+
+
+class ChaosRunner:
+    """Runs one chaos workload under seeded or scripted fault schedules."""
+
+    def __init__(self, workload: ChaosWorkload,
+                 config: Optional[FaultConfig] = None):
+        self.workload = workload
+        self.config = config or FaultConfig()
+
+    # -- running --------------------------------------------------------
+
+    def run_seed(self, seed: int) -> ChaosResult:
+        """One run with faults drawn from ``random.Random(seed)``."""
+        schedule = FaultSchedule.seeded(seed, self.config)
+        return drive_ampi_chaos(self.workload, schedule, seed=seed)
+
+    def sweep(self, seeds: Sequence[int]) -> List[ChaosResult]:
+        """One seeded run per seed, in order."""
+        return [self.run_seed(s) for s in seeds]
+
+    def replay(self, events: Sequence[FaultEvent]) -> ChaosResult:
+        """Re-run the workload under an explicit fault script.
+
+        Replaying the ``schedule`` of a seeded result reproduces that
+        run byte-identically (same :meth:`ChaosResult.fingerprint`),
+        because scripted events fire at the same ``(site, seq)`` decision
+        points the seeded draw hit.
+        """
+        schedule = FaultSchedule.scripted(events)
+        return drive_ampi_chaos(self.workload, schedule, seed=None)
+
+    # -- minimization ---------------------------------------------------
+
+    def shrink(self, events: Sequence[FaultEvent],
+               is_failure: Optional[Callable[[ChaosResult], bool]] = None,
+               ) -> List[FaultEvent]:
+        """Delta-debug a failing schedule down to a minimal one (ddmin).
+
+        Repeatedly replays sub-schedules, keeping any complement that
+        still satisfies ``is_failure`` (default: outcome is a violation
+        or error) and refining granularity until no single event can be
+        removed.  Returns the shrunk schedule; the input is not modified.
+        """
+        if is_failure is None:
+            is_failure = lambda res: res.failed
+        events = list(events)
+        if not events:
+            raise ChaosError("shrink needs a non-empty schedule")
+        if not is_failure(self.replay(events)):
+            raise ChaosError(
+                "shrink: the full schedule does not reproduce the failure")
+        n = 2
+        while len(events) >= 2:
+            size = math.ceil(len(events) / n)
+            chunks = [events[i:i + size]
+                      for i in range(0, len(events), size)]
+            reduced = False
+            for skip in range(len(chunks)):
+                candidate = [ev for j, chunk in enumerate(chunks)
+                             if j != skip for ev in chunk]
+                if candidate and is_failure(self.replay(candidate)):
+                    events = candidate
+                    n = max(n - 1, 2)
+                    reduced = True
+                    break
+            if not reduced:
+                if n >= len(events):
+                    break
+                n = min(n * 2, len(events))
+        return events
+
+    # -- reporting ------------------------------------------------------
+
+    def repro_script(self, result: ChaosResult) -> str:
+        """A runnable Python source reproducing ``result``.
+
+        The emitted script replays the exact applied schedule (the
+        ``(site, seq)`` events), so it reproduces the run regardless of
+        the seed that originally found it.
+        """
+        cls = type(self.workload).__name__
+        body = "\n".join(f"    {ev!r}," for ev in result.schedule)
+        return f'''#!/usr/bin/env python3
+"""Chaos repro: workload {self.workload.name!r}, outcome {result.outcome!r}.
+
+Found with seed {result.seed}; replays the exact fault schedule, so the
+run below reproduces byte-identically (fingerprint
+{result.fingerprint()}).
+"""
+
+from repro.chaos import ChaosRunner, FaultEvent
+from repro.chaos.workloads import {cls}
+
+SCHEDULE = [
+{body}
+]
+
+result = ChaosRunner({cls}()).replay(SCHEDULE)
+print(result)
+assert result.fingerprint() == {result.fingerprint()!r}, "did not reproduce"
+'''

@@ -29,9 +29,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import MigrationError
+from repro.errors import (CheckpointError, MigrationAborted, MigrationError,
+                          PupError)
 from repro.core.migration import ThreadMigrator
-from repro.core.pup import pack_value, unpack_value
+from repro.core.pup import pack_value, pup_seal, pup_unseal, unpack_value
 from repro.core.thread import ThreadState, UThread
 
 __all__ = ["DiskModel", "CheckpointRecord", "Checkpointer"]
@@ -80,9 +81,16 @@ class Checkpointer:
         self.migrator = migrator
         self.disk = disk or DiskModel()
         self._store: Dict[str, CheckpointRecord] = {}
+        #: Optional chaos hook (see :mod:`repro.chaos`): consulted on every
+        #: write, may raise :class:`CheckpointError` (transient disk error)
+        #: or return a corrupted blob (caught at restore by the seal).
+        self.fault_injector = None
         self.checkpoints_taken = 0
         self.restores_done = 0
         self.bytes_written = 0
+        #: Threads :meth:`evacuate` had to leave in place because every
+        #: migration attempt aborted.
+        self.evacuations_skipped = 0
 
     # ------------------------------------------------------------------
 
@@ -106,8 +114,13 @@ class Checkpointer:
             "got_storage": (list(thread.got.storage_addrs)
                             if thread.got else None),
         }
-        blob = pack_value(image)
+        # The on-disk image is sealed (length + CRC32) so that corruption
+        # on the simulated disk is a loud CheckpointError at restore, never
+        # a silently wrong memory image.
+        blob = pup_seal(pack_value(image))
         key = key or f"ckpt-{thread.name}-{self.checkpoints_taken}"
+        if self.fault_injector is not None:
+            blob = self.fault_injector.on_checkpoint_write(key, blob)
         self._store[key] = CheckpointRecord(
             key=key, blob=blob, tid=thread.tid, name=thread.name,
             switches_at_checkpoint=thread.switches, thread_obj=thread)
@@ -115,6 +128,10 @@ class Checkpointer:
         self.checkpoints_taken += 1
         self.bytes_written += len(blob)
         return key
+
+    def records(self) -> List[CheckpointRecord]:
+        """All stored checkpoint records (for inspection/integrity audits)."""
+        return list(self._store.values())
 
     def stored(self, key: str) -> CheckpointRecord:
         """Look up a checkpoint record."""
@@ -147,7 +164,11 @@ class Checkpointer:
                 f"{thread.switches - record.switches_at_checkpoint} more "
                 f"slices after the checkpoint (generator state is "
                 f"process-local; see DESIGN.md)")
-        image = unpack_value(record.blob)
+        try:
+            image = unpack_value(pup_unseal(record.blob))
+        except PupError as e:
+            raise CheckpointError(
+                f"checkpoint {key!r} failed its integrity check: {e}") from e
         dst_sched = self.migrator.schedulers[dst_pe]
         dst_sched.processor.charge(self.disk.read_ns(len(record.blob)))
         rec = dst_sched.stack_manager.unpack(image["stack"])
@@ -169,19 +190,34 @@ class Checkpointer:
         """Migrate every thread off processor ``pe`` (proactive FT).
 
         Threads are spread round-robin over ``targets`` (default: every
-        other processor).  Returns the number of threads moved.  The
+        other live processor).  Returns the number of threads moved.  The
         caller then runs the cluster to complete delivery.
+
+        A migration that aborts (fault injection, failed destination) is
+        retried once on the next target; a thread whose retries all abort
+        stays in place and is counted in :attr:`evacuations_skipped` — a
+        partial evacuation is still an evacuation, never a lost thread.
         """
         scheds = self.migrator.schedulers
         if targets is None:
-            targets = [p for p in range(len(scheds)) if p != pe]
+            targets = [p for p in range(len(scheds))
+                       if p != pe and not self.migrator.cluster[p].failed]
         if not targets or pe in targets:
             raise MigrationError(f"bad evacuation targets {targets}")
         sched = scheds[pe]
         threads: List[UThread] = list(sched.threads.values())
         moved = 0
         for i, thread in enumerate(threads):
-            if thread.state in (ThreadState.READY, ThreadState.SUSPENDED):
-                self.migrator.migrate(thread, targets[i % len(targets)])
+            if thread.state not in (ThreadState.READY, ThreadState.SUSPENDED):
+                continue
+            for attempt in range(2):
+                dst = targets[(i + attempt) % len(targets)]
+                try:
+                    self.migrator.migrate(thread, dst)
+                except MigrationAborted:
+                    continue
                 moved += 1
+                break
+            else:
+                self.evacuations_skipped += 1
         return moved

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.errors import MigrationError
+from repro.errors import MigrationAborted, MigrationError
 from repro.core.scheduler import CthScheduler
 from repro.core.thread import ThreadState, UThread
 from repro.sim.cluster import Cluster
@@ -75,6 +75,11 @@ class ThreadMigrator:
         self.on_arrival: Optional[Callable[[UThread], None]] = None
         self.migrations_started = 0
         self.migrations_completed = 0
+        #: Migrations refused before any state moved (MigrationAborted).
+        self.migrations_aborted = 0
+        #: In-flight images the destination refused; the image bounced
+        #: back and the thread was rebuilt on its source processor.
+        self.migrations_bounced = 0
         self.bytes_shipped = 0
         for proc in cluster.processors:
             TagDispatcher.of(proc).register(_TAG, self._on_message)
@@ -97,6 +102,18 @@ class ThreadMigrator:
                 f"cannot migrate {thread.name} in state {thread.state.value}")
         if dst_pe == src_pe:
             return  # no-op, like the real runtime
+        if self.cluster[dst_pe].failed:
+            self.migrations_aborted += 1
+            raise MigrationAborted(
+                f"cannot migrate {thread.name}: processor {dst_pe} has "
+                f"failed")
+        injector = self.cluster.fault_injector
+        if injector is not None and injector.on_migrate(thread, src_pe,
+                                                        dst_pe):
+            self.migrations_aborted += 1
+            raise MigrationAborted(
+                f"migration of {thread.name} pe{src_pe}->pe{dst_pe} "
+                f"aborted by fault injection")
 
         was_suspended = thread.state is ThreadState.SUSPENDED
         saved_sp = src_sched.saved_sp(thread)
@@ -128,6 +145,18 @@ class ThreadMigrator:
 
     def _on_message(self, msg: Message) -> None:
         image: ThreadImage = msg.payload
+        injector = self.cluster.fault_injector
+        if (injector is not None and not image.stats.get("bounced")
+                and injector.on_migration_delivery(image, msg) == "bounce"):
+            # Mid-flight abort: the destination refuses the image (crash
+            # during migration).  Nothing was unpacked there, so the full
+            # image simply ships back and the thread is rebuilt at home —
+            # the abort-and-retry protocol's in-flight half.
+            image.stats["bounced"] = True
+            self.migrations_bounced += 1
+            self.cluster.send(msg.dst, msg.src, image,
+                              size_bytes=image.wire_bytes, tag=_TAG)
+            return
         dst_sched = self.schedulers[msg.dst]
         thread = image.thread_obj
         # Unpacking pays the mirror-image memory copy.

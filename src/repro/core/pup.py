@@ -26,6 +26,7 @@ Example
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Any, Dict, List, Optional, Protocol, Type, runtime_checkable
 
 import numpy as np
@@ -41,6 +42,10 @@ __all__ = [
     "pup_pack",
     "pup_unpack",
     "pup_size",
+    "pup_seal",
+    "pup_unseal",
+    "pup_pack_checked",
+    "pup_unpack_checked",
 ]
 
 
@@ -383,6 +388,62 @@ def pup_unpack(data: bytes) -> Any:
             f"{name}: {len(p._data) - p._offset} trailing bytes after "
             f"unpack — over-long blob or pup() asymmetry")
     return inst
+
+
+# ---------------------------------------------------------------------------
+# integrity envelope
+# ---------------------------------------------------------------------------
+#
+# A plain pup stream detects *structural* damage (truncation, over-long
+# blobs, mistyped fields) but a flipped byte inside field *content* decodes
+# to silently wrong data — the classic serialization failure mode.  Blobs
+# that cross an unreliable boundary (the simulated checkpoint disk, chaos
+# tests) are therefore sealed: a magic tag, the payload length, and a CRC32
+# make any single-byte corruption loudly detectable as a PupError.
+
+_SEAL_MAGIC = b"PUP1"
+_SEAL_HEADER = struct.Struct("<4sQI")
+
+
+def pup_seal(blob: bytes) -> bytes:
+    """Wrap packed bytes in a magic + length + CRC32 integrity envelope."""
+    return _SEAL_HEADER.pack(_SEAL_MAGIC, len(blob),
+                             zlib.crc32(blob) & 0xFFFFFFFF) + blob
+
+
+def pup_unseal(data: bytes) -> bytes:
+    """Verify and strip a :func:`pup_seal` envelope.
+
+    Raises
+    ------
+    PupError
+        If the magic, length, or checksum does not match — i.e. the blob
+        was corrupted or truncated in storage/transit.  Never returns
+        silently wrong bytes.
+    """
+    if len(data) < _SEAL_HEADER.size:
+        raise PupError(f"sealed blob too short ({len(data)} bytes) — "
+                       f"truncated envelope")
+    magic, length, crc = _SEAL_HEADER.unpack_from(data, 0)
+    if magic != _SEAL_MAGIC:
+        raise PupError(f"bad seal magic {magic!r} — not a sealed pup blob")
+    payload = data[_SEAL_HEADER.size:]
+    if len(payload) != length:
+        raise PupError(f"sealed blob length mismatch: header says {length}, "
+                       f"got {len(payload)} bytes — truncated or padded")
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        raise PupError("sealed blob checksum mismatch — corrupted contents")
+    return payload
+
+
+def pup_pack_checked(obj: Puppable) -> bytes:
+    """:func:`pup_pack` plus the integrity envelope of :func:`pup_seal`."""
+    return pup_seal(pup_pack(obj))
+
+
+def pup_unpack_checked(data: bytes) -> Any:
+    """Inverse of :func:`pup_pack_checked`; corruption raises PupError."""
+    return pup_unpack(pup_unseal(data))
 
 
 # ---------------------------------------------------------------------------

@@ -24,10 +24,14 @@ __all__ = [
     "ThreadError",
     "SchedulerError",
     "MigrationError",
+    "MigrationAborted",
+    "CheckpointError",
     "PupError",
     "CommError",
     "SdagError",
     "AmpiError",
+    "ChaosError",
+    "InvariantViolation",
 ]
 
 
@@ -135,6 +139,21 @@ class MigrationError(ReproError):
     """A thread or object migration could not be carried out."""
 
 
+class MigrationAborted(MigrationError):
+    """A migration was refused before any state changed hands.
+
+    Raised when the destination is unavailable (failed processor) or a
+    fault injector vetoed the move.  Because the abort happens before the
+    source scheduler is mutated, callers may simply retry or leave the
+    thread where it is — the thread is never lost.
+    """
+
+
+class CheckpointError(MigrationError):
+    """A checkpoint could not be written, or a stored image failed its
+    integrity check on restore (simulated disk error or corruption)."""
+
+
 class PupError(ReproError):
     """Pack/UnPack framework error (size mismatch, unknown type, ...)."""
 
@@ -153,3 +172,20 @@ class SdagError(ReproError):
 
 class AmpiError(ReproError):
     """Adaptive-MPI semantic error (count mismatch, invalid rank, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Chaos / fault injection
+# ---------------------------------------------------------------------------
+
+class ChaosError(ReproError):
+    """Fault-injection subsystem misuse (bad schedule, bad site, ...)."""
+
+
+class InvariantViolation(ChaosError):
+    """A registered runtime invariant failed under fault injection.
+
+    This is the chaos harness's *finding*, not an injected fault: the
+    runtime reached a state it promises never to reach (lost rank,
+    inconsistent LB database, non-monotonic clock, ...).
+    """

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional
 
-from repro.errors import ReproError
+from repro.errors import CommError, ReproError
 from repro.sim.event import Event, EventQueue
 from repro.sim.network import Message, Network
 from repro.sim.platform import PlatformProfile, get_platform
@@ -41,6 +41,11 @@ class Cluster:
         #: When tracing is enabled, every send appends
         #: (send_time, src, dst, tag, size_bytes) here.
         self.message_trace: Optional[List[tuple]] = None
+        #: Optional fault-injection hook (see :mod:`repro.chaos`).  When
+        #: set, every send's delivery schedule is routed through
+        #: ``fault_injector.on_send``, which may drop, delay, duplicate,
+        #: or reorder the message deterministically.
+        self.fault_injector = None
 
     def __len__(self) -> int:
         return len(self.processors)
@@ -56,6 +61,11 @@ class Cluster:
         if not 0 <= dst < len(self.processors):
             raise ReproError(f"bad destination processor {dst}")
         sender = self.processors[src]
+        if sender.failed:
+            raise CommError(f"failed processor {src} cannot send")
+        if self.processors[dst].failed:
+            raise CommError(f"send to failed processor {dst} "
+                            f"(tag={tag!r})")
         sender.charge(self.network.per_message_cpu_ns)
         msg = Message(src=src, dst=dst, payload=payload,
                       size_bytes=size_bytes, tag=tag,
@@ -71,7 +81,13 @@ class Cluster:
             self.message_trace.append((msg.send_time, src, dst, tag,
                                        size_bytes))
         receiver = self.processors[dst]
-        self.queue.schedule(arrival, receiver.deliver, msg, arrival)
+        if self.fault_injector is not None:
+            arrivals = self.fault_injector.on_send(msg, arrival)
+        else:
+            arrivals = [arrival]
+        for t in arrivals:
+            t = max(t, self.queue.current_time)
+            self.queue.schedule(t, receiver.deliver, msg, t)
         return msg
 
     def at(self, proc_id: int, time: float, fn: Callable[..., Any],

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional, TYPE_CHECKING
 
-from repro.errors import ProcessLimitExceeded, ReproError, ThreadLimitExceeded
+from repro.errors import (CommError, ProcessLimitExceeded, ReproError,
+                          ThreadLimitExceeded)
 from repro.sim.clock import SimClock
 from repro.sim.network import Message
 from repro.sim.platform import PlatformProfile
@@ -88,6 +89,11 @@ class Processor:
                                   name=f"pe{proc_id}")
         self.kernel = KernelModel(profile)
         self._handler: Optional[Callable[[Message], None]] = None
+        #: Fail-stop flag: a crashed (or evacuated-then-shut-down) node.
+        #: Set by the chaos harness; a failed processor must neither send
+        #: nor receive — both paths raise :class:`~repro.errors.CommError`
+        #: loudly rather than silently dropping traffic.
+        self.failed = False
         #: Fraction of this processor stolen by external work — the
         #: "adapting to load on workstation clusters" scenario (paper
         #: ref [10]).  Work charged here takes 1/(1-load) times longer, so
@@ -136,6 +142,10 @@ class Processor:
 
     def deliver(self, msg: Message, arrival_time: float) -> None:
         """Called by the cluster when ``msg`` arrives at ``arrival_time``."""
+        if self.failed:
+            raise CommError(
+                f"message {msg.tag!r} delivered to failed processor "
+                f"{self.id} — in-flight traffic at crash time")
         self.clock.advance_to(arrival_time)
         self.charge(self.cluster.network.per_message_cpu_ns
                     if self.cluster else 0.0)

@@ -32,7 +32,8 @@ from repro.errors import ReproError
 from repro.sim.network import Network
 
 __all__ = ["Zone", "BTMZ_CLASSES", "BTMZClass", "make_zones",
-           "zone_rank_assignment", "BTMZConfig", "BTMZResult", "run_btmz"]
+           "zone_rank_assignment", "BTMZConfig", "BTMZResult",
+           "make_btmz_main", "run_btmz"]
 
 
 @dataclass(frozen=True)
@@ -202,18 +203,18 @@ class BTMZResult:
     imbalance_after: float
 
 
-def run_btmz(cfg: BTMZConfig, strategy: Optional[Strategy] = None,
-             network: Optional[Network] = None) -> BTMZResult:
-    """Run one BT-MZ configuration under AMPI; returns timing and LB stats.
+def make_btmz_main(cfg: BTMZConfig, checkpoint_period: int = 0):
+    """Build the AMPI rank program for one BT-MZ configuration.
 
     Each rank's iteration: per-zone solver work (charged), boundary
     exchange with the neighboring ranks' zones, then an ``MPI_Migrate``
-    point every ``cfg.lb_period`` iterations.
+    point every ``cfg.lb_period`` iterations.  ``checkpoint_period > 0``
+    adds a coordinated checkpoint every that many iterations (used by the
+    chaos harness to exercise crash/recovery).
     """
     zones = make_zones(cfg.class_name, cfg.benchmark)
     assignment = zone_rank_assignment(zones, cfg.nprocs)
     rank_points = [sum(z.points for z in zs) for zs in assignment]
-    strategy = strategy or NullLB()
 
     def main(mpi):
         my_zones = assignment[mpi.rank]
@@ -240,6 +241,20 @@ def run_btmz(cfg: BTMZConfig, strategy: Optional[Strategy] = None,
                 yield from mpi.recv(source=left, tag=("face", it))
             if (it + 1) % cfg.lb_period == 0:
                 yield from mpi.migrate()
+            if checkpoint_period and (it + 1) % checkpoint_period == 0:
+                yield from mpi.checkpoint()
+
+    return main
+
+
+def run_btmz(cfg: BTMZConfig, strategy: Optional[Strategy] = None,
+             network: Optional[Network] = None) -> BTMZResult:
+    """Run one BT-MZ configuration under AMPI; returns timing and LB stats.
+
+    See :func:`make_btmz_main` for the per-rank program.
+    """
+    strategy = strategy or NullLB()
+    main = make_btmz_main(cfg)
 
     rt = AmpiRuntime(cfg.npes, cfg.nprocs, main, strategy=strategy,
                      network=network,

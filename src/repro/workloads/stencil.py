@@ -53,7 +53,8 @@ def initial_grid(cfg: StencilConfig) -> np.ndarray:
     return g
 
 
-def ampi_stencil_main(cfg: StencilConfig, results: Dict[int, np.ndarray]):
+def ampi_stencil_main(cfg: StencilConfig, results: Dict[int, np.ndarray],
+                      checkpoint_period: int = 0):
     """Build the AMPI rank program for the stencil.
 
     Each rank owns a contiguous strip of rows.  One iteration is: send
@@ -61,6 +62,10 @@ def ampi_stencil_main(cfg: StencilConfig, results: Dict[int, np.ndarray]):
     the thread suspends, which is exactly the pattern that forces
     thread-like mechanisms for "traditional" MPI codes, Section 2.4), then
     sweep the interior with NumPy.
+
+    ``checkpoint_period > 0`` adds a coordinated checkpoint every that
+    many iterations — the hook the chaos harness uses to exercise
+    crash/recovery mid-computation.
     """
 
     def main(mpi):
@@ -97,16 +102,20 @@ def ampi_stencil_main(cfg: StencilConfig, results: Dict[int, np.ndarray]):
                                        + ext[ei, :-2] + ext[ei, 2:])
             strip = nxt
             mpi.charge(cfg.ns_per_point * strip.size)
+            if checkpoint_period and (it + 1) % checkpoint_period == 0:
+                yield from mpi.checkpoint()
         results[mpi.rank] = strip
 
     return main
 
 
 def run_ampi_stencil(cfg: StencilConfig, num_procs: int, num_ranks: int,
-                     strategy: Strategy | None = None):
+                     strategy: Strategy | None = None,
+                     checkpoint_period: int = 0):
     """Run the AMPI stencil; returns (runtime, assembled final grid)."""
     results: Dict[int, np.ndarray] = {}
-    rt = AmpiRuntime(num_procs, num_ranks, ampi_stencil_main(cfg, results),
+    rt = AmpiRuntime(num_procs, num_ranks,
+                     ampi_stencil_main(cfg, results, checkpoint_period),
                      strategy=strategy or NullLB(),
                      slot_bytes=256 * 1024, stack_bytes=8 * 1024)
     rt.run()

@@ -1,0 +1,175 @@
+"""Tests for the fault injector's hooks into cluster/migrator/checkpointer."""
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultInjector, FaultSchedule
+from repro.core import Checkpointer
+from repro.core.thread import ThreadState
+from repro.errors import CheckpointError, MigrationAborted
+from repro.sim import Cluster
+from tests.core.conftest import make_cluster
+
+
+def message_cluster(n=2):
+    """A raw cluster whose processors log every delivered payload."""
+    cl = Cluster(n)
+    log = []
+    for proc in cl.processors:
+        proc.set_message_handler(lambda msg, log=log: log.append(msg.payload))
+    return cl, log
+
+
+def scripted_injector(cl, *events, tags=("t",)):
+    injector = FaultInjector(FaultSchedule.scripted(list(events)),
+                             faultable_tags=tags)
+    injector.attach(cl)
+    return injector
+
+
+# -- message faults ---------------------------------------------------------
+
+def test_drop_loses_exactly_the_scripted_message():
+    cl, log = message_cluster()
+    injector = scripted_injector(cl, FaultEvent("send", 0, "drop"))
+    cl.send(0, 1, "first", 100, tag="t")
+    cl.send(0, 1, "second", 100, tag="t")
+    cl.run()
+    assert log == ["second"]
+    assert injector.counters["sends_seen"] == 2
+    assert injector.counters["dropped"] == 1
+    assert injector.arrivals_scheduled == 1
+
+
+def test_delay_defers_delivery_past_later_traffic():
+    cl, log = message_cluster()
+    scripted_injector(cl, FaultEvent("send", 0, "delay", 1_000_000.0))
+    cl.send(0, 1, "slowed", 100, tag="t")
+    cl.send(0, 1, "normal", 100, tag="t")
+    cl.run()
+    assert log == ["normal", "slowed"]
+
+
+def test_dup_delivers_the_message_twice():
+    cl, log = message_cluster()
+    injector = scripted_injector(cl, FaultEvent("send", 0, "dup", 5_000.0))
+    cl.send(0, 1, "once?", 100, tag="t")
+    cl.run()
+    assert log == ["once?", "once?"]
+    assert injector.counters["duplicated"] == 1
+    assert injector.arrivals_scheduled == 2
+
+
+def test_reorder_jumps_ahead_of_earlier_traffic():
+    cl, log = message_cluster()
+    injector = scripted_injector(cl, FaultEvent("send", 1, "reorder"))
+    cl.send(0, 1, "big-and-slow", 1_000_000, tag="t")   # long wire time
+    cl.send(0, 1, "queue-jumper", 100, tag="t")          # reordered early
+    cl.run()
+    assert log == ["queue-jumper", "big-and-slow"]
+    assert injector.counters["reordered"] == 1
+
+
+def test_unfaultable_tags_pass_untouched():
+    cl, log = message_cluster()
+    injector = scripted_injector(cl, FaultEvent("send", 0, "drop"))
+    cl.send(0, 1, "control-plane", 100, tag="other")
+    cl.run()
+    assert log == ["control-plane"]
+    # Not a faultable send: no decision point was consumed for it.
+    assert injector.counters["sends_seen"] == 0
+    assert injector.schedule._seq["send"] == 0
+
+
+# -- migration faults -------------------------------------------------------
+
+def body(th):
+    yield "suspend"
+
+
+def test_abort_vetoes_migration_before_any_state_moves():
+    cl, scheds, mig, _ = make_cluster(2)
+    injector = scripted_injector(cl, FaultEvent("migrate", 0, "abort"))
+    t = scheds[0].create(body)
+    scheds[0].run()
+    with pytest.raises(MigrationAborted):
+        mig.migrate(t, 1)
+    assert t.scheduler is scheds[0]
+    assert t.state is ThreadState.SUSPENDED
+    assert injector.counters["migrations_vetoed"] == 1
+    assert mig.migrations_aborted == 1
+    # The veto happened before any state moved: a retry succeeds.
+    mig.migrate(t, 1)
+    cl.run()
+    assert t.scheduler is scheds[1]
+
+
+def test_bounce_ships_the_image_home_intact():
+    cl, scheds, mig, _ = make_cluster(2)
+    injector = scripted_injector(cl, FaultEvent("mig_delivery", 0, "bounce"))
+    t = scheds[0].create(body)
+    scheds[0].run()
+    mig.migrate(t, 1)
+    cl.run()
+    # The destination refused mid-flight; the thread is back home, usable.
+    assert t.scheduler is scheds[0]
+    assert t.state is ThreadState.SUSPENDED
+    assert injector.counters["migrations_bounced"] == 1
+    assert mig.migrations_bounced == 1
+    scheds[0].awaken(t)
+    scheds[0].run()
+    assert t.state is ThreadState.FINISHED
+
+
+def test_thread_images_are_never_dropped():
+    """Message faults only touch faultable tags; a drop scripted at the
+    first send must not eat a migration image."""
+    cl, scheds, mig, _ = make_cluster(2)
+    scripted_injector(cl, FaultEvent("send", 0, "drop"), tags=("ampi",))
+    t = scheds[0].create(body)
+    scheds[0].run()
+    mig.migrate(t, 1)
+    cl.run()
+    assert t.scheduler is scheds[1]
+    assert t.state is ThreadState.SUSPENDED
+
+
+# -- checkpoint faults ------------------------------------------------------
+
+def checkpointed_thread():
+    cl, scheds, mig, _ = make_cluster(2)
+    ck = Checkpointer(mig)
+    t = scheds[0].create(body)
+    scheds[0].run()
+    return cl, ck, t
+
+
+def test_io_error_raises_at_write_time():
+    cl, ck, t = checkpointed_thread()
+    injector = scripted_injector(cl, FaultEvent("ckpt", 0, "io_error"))
+    ck.fault_injector = injector
+    with pytest.raises(CheckpointError):
+        ck.checkpoint(t, key="k")
+    assert injector.counters["ckpt_io_errors"] == 1
+    # Transient: the next attempt goes through and restores cleanly.
+    ck.checkpoint(t, key="k")
+    assert ck.restore("k", 1) is t
+
+
+def test_corrupt_write_fails_loudly_at_restore():
+    cl, ck, t = checkpointed_thread()
+    injector = scripted_injector(cl, FaultEvent("ckpt", 0, "corrupt", 0.5))
+    ck.fault_injector = injector
+    ck.checkpoint(t, key="k")          # the write itself "succeeds"
+    assert injector.counters["ckpt_corrupted"] == 1
+    assert "k" in injector.corrupted_keys
+    with pytest.raises(CheckpointError):
+        ck.restore("k", 1)             # the seal catches the flipped byte
+
+
+def test_summary_lists_nonzero_counters():
+    cl, log = message_cluster()
+    injector = scripted_injector(cl, FaultEvent("send", 0, "drop"))
+    assert injector.summary() == "no faults"
+    cl.send(0, 1, "x", 10, tag="t")
+    cl.run()
+    assert "dropped=1" in injector.summary()

@@ -1,0 +1,196 @@
+"""Property-based PUP tests: random graphs, roundtrips, hostile bytes.
+
+Hand-rolled property testing (no external dependencies): seeded
+:class:`random.Random` generators produce random value trees and random
+registered-object graphs, and three properties must hold for every one:
+
+1. **Roundtrip stability** — pack -> unpack -> pack is byte-identical
+   (which also proves pack -> unpack loses nothing);
+2. **Truncation safety** — every strict prefix of a packed stream raises
+   :class:`~repro.errors.PupError`; never ``struct.error``, never a
+   silently short value;
+3. **Corruption safety** — a sealed blob with *any single byte* flipped
+   raises :class:`~repro.errors.PupError` on unseal: corrupted
+   checkpoints are loud, not wrong.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.pup import (pack_value, pup_pack, pup_pack_checked,
+                            pup_register, pup_seal, pup_unpack,
+                            pup_unpack_checked, pup_unseal, unpack_value)
+from repro.errors import PupError
+
+
+SEEDS = range(12)
+
+_ALPHABET = "abcXYZ 0123456789_é世\U0001f600"
+
+
+def random_value(rng, depth=0):
+    """One random node of a pack_value-able tree."""
+    kinds = ["none", "bool", "int", "float", "bytes", "str", "array"]
+    if depth < 3:
+        kinds += ["list", "tuple", "dict"] * 2
+    kind = rng.choice(kinds)
+    if kind == "none":
+        return None
+    if kind == "bool":
+        return rng.random() < 0.5
+    if kind == "int":
+        return rng.randint(-2 ** 62, 2 ** 62)
+    if kind == "float":
+        return rng.uniform(-1e18, 1e18)
+    if kind == "bytes":
+        return bytes(rng.getrandbits(8) for _ in range(rng.randint(0, 40)))
+    if kind == "str":
+        return "".join(rng.choice(_ALPHABET)
+                       for _ in range(rng.randint(0, 24)))
+    if kind == "array":
+        shape = tuple(rng.randint(1, 4) for _ in range(rng.randint(1, 3)))
+        dtype = rng.choice([np.int64, np.float64, np.uint8])
+        flat = [rng.randint(0, 200) for _ in range(int(np.prod(shape)))]
+        return np.array(flat, dtype=dtype).reshape(shape)
+    n = rng.randint(0, 5)
+    if kind == "list":
+        return [random_value(rng, depth + 1) for _ in range(n)]
+    if kind == "tuple":
+        return tuple(random_value(rng, depth + 1) for _ in range(n))
+    return {rng.choice([rng.randint(0, 10 ** 9),
+                        "".join(rng.choice(_ALPHABET) for _ in range(6)),
+                        (rng.randint(0, 99), rng.randint(0, 99))]):
+            random_value(rng, depth + 1) for _ in range(n)}
+
+
+@pup_register
+class PropPoint:
+    """A leaf object for random graphs."""
+
+    def __init__(self, x=0.0, y=0.0):
+        self.x = x
+        self.y = y
+
+    def pup(self, p):
+        self.x = p.double(self.x)
+        self.y = p.double(self.y)
+
+
+@pup_register
+class PropNode:
+    """A tree node mixing primitives, blobs, arrays, and nested objects."""
+
+    def __init__(self):
+        self.label = ""
+        self.weight = 0
+        self.payload = b""
+        self.samples = np.zeros(0)
+        self.origin = PropPoint()
+        self.children = []
+
+    def pup(self, p):
+        self.label = p.str(self.label)
+        self.weight = p.int(self.weight)
+        self.payload = p.bytes(self.payload)
+        self.samples = p.array(None if p.is_unpacking else self.samples)
+        self.origin = p.obj(None if p.is_unpacking else self.origin)
+        self.children = p.list_obj(None if p.is_unpacking
+                                   else self.children)
+
+
+def random_graph(rng, depth=0):
+    node = PropNode()
+    node.label = "".join(rng.choice(_ALPHABET)
+                         for _ in range(rng.randint(0, 12)))
+    node.weight = rng.randint(-10 ** 12, 10 ** 12)
+    node.payload = bytes(rng.getrandbits(8)
+                         for _ in range(rng.randint(0, 32)))
+    node.samples = np.array([rng.uniform(-5, 5)
+                             for _ in range(rng.randint(0, 8))])
+    node.origin = PropPoint(rng.uniform(-1, 1), rng.uniform(-1, 1))
+    if depth < 3:
+        node.children = [random_graph(rng, depth + 1)
+                         for _ in range(rng.randint(0, 3))]
+    return node
+
+
+def cuts(blob, rng, limit=60):
+    """Every strict-prefix length for small blobs, a random sample for big."""
+    if len(blob) <= limit:
+        return range(len(blob))
+    return sorted(rng.sample(range(len(blob)), limit))
+
+
+# -- property 1: roundtrip byte-stability -----------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_value_roundtrip_is_byte_stable(seed):
+    rng = random.Random(seed)
+    for _ in range(10):
+        blob = pack_value(random_value(rng))
+        assert pack_value(unpack_value(blob)) == blob
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_object_graph_roundtrip_is_byte_stable(seed):
+    rng = random.Random(seed)
+    blob = pup_pack(random_graph(rng))
+    clone = pup_unpack(blob)
+    assert isinstance(clone, PropNode)
+    assert pup_pack(clone) == blob
+    # ... and through the checked (sealed) path as well.
+    assert pup_pack_checked(pup_unpack_checked(pup_pack_checked(clone))) \
+        == pup_pack_checked(clone)
+
+
+# -- property 2: truncation is loud -----------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_truncated_value_stream_always_raises_puperror(seed):
+    rng = random.Random(seed)
+    blob = pack_value(random_value(rng))
+    for cut in cuts(blob, rng):
+        with pytest.raises(PupError):
+            unpack_value(blob[:cut])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_truncated_object_stream_always_raises_puperror(seed):
+    rng = random.Random(seed)
+    blob = pup_pack(random_graph(rng))
+    for cut in cuts(blob, rng):
+        with pytest.raises(PupError):
+            pup_unpack(blob[:cut])
+
+
+def test_overlong_stream_is_also_loud():
+    blob = pack_value({"k": [1, 2, 3]})
+    with pytest.raises(PupError):
+        unpack_value(blob + b"\x00")
+
+
+# -- property 3: single-byte corruption of a sealed blob is loud ------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_any_flipped_byte_fails_the_seal(seed):
+    rng = random.Random(seed)
+    sealed = pup_seal(pack_value(random_value(rng)))
+    for i in cuts(sealed, rng):
+        hostile = sealed[:i] + bytes([sealed[i] ^ 0xFF]) + sealed[i + 1:]
+        with pytest.raises(PupError):
+            pup_unseal(hostile)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_checked_unpack_rejects_corrupted_graphs(seed):
+    rng = random.Random(seed)
+    sealed = pup_pack_checked(random_graph(rng))
+    for i in cuts(sealed, rng, limit=20):
+        hostile = sealed[:i] + bytes([sealed[i] ^ 0x01]) + sealed[i + 1:]
+        with pytest.raises(PupError):
+            pup_unpack_checked(hostile)
+    for cut in cuts(sealed, rng, limit=20):
+        with pytest.raises(PupError):
+            pup_unpack_checked(sealed[:cut])

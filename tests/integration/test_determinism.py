@@ -9,6 +9,8 @@ subsystem twice and compare.
 from repro.ampi import AmpiRuntime
 from repro.balance import GreedyLB
 from repro.bigsim import BigSimEngine, TargetMachine
+from repro.chaos import (ChaosRunner, FaultConfig, SampleSortChaosWorkload,
+                         StencilChaosWorkload)
 from repro.core.pup import pup_register
 from repro.pose import PoseEngine, Poser
 from repro.sim import Cluster
@@ -77,6 +79,24 @@ def test_pose_run_bit_identical():
                 stats.rollbacks, cl.makespan)
 
     assert run() == run()
+
+
+def test_chaos_sweep_bit_identical():
+    """Fault-injected runs are as deterministic as clean ones: the same
+    seed sweep re-run from scratch reproduces every schedule, outcome,
+    and trace/state fingerprint exactly."""
+    cfg = FaultConfig(drop_rate=0.02, delay_rate=0.1, reorder_rate=0.05,
+                      migrate_abort_rate=0.1, migrate_bounce_rate=0.05,
+                      ckpt_error_rate=0.03, ckpt_corrupt_rate=0.03,
+                      crash_rate=0.15, evac_rate=0.1)
+
+    def sweep(workload_cls):
+        results = ChaosRunner(workload_cls(), cfg).sweep(range(6))
+        return [(r.outcome, tuple(r.schedule), r.fingerprint(),
+                 r.makespan_ns) for r in results]
+
+    for workload_cls in (StencilChaosWorkload, SampleSortChaosWorkload):
+        assert sweep(workload_cls) == sweep(workload_cls)
 
 
 def test_table_and_figure_builders_bit_identical():

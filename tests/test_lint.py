@@ -26,7 +26,8 @@ def test_gate_covers_the_whole_tree():
     assert len(files) > 60, files
     names = {os.path.basename(f) for f in files}
     assert {"pup.py", "swapglobal.py", "sdag.py", "stencil.py",
-            "quickstart.py"} <= names
+            "quickstart.py", "faults.py", "injector.py", "invariants.py",
+            "harness.py", "runner.py"} <= names
 
 
 def test_shipped_tree_is_lint_clean():

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Sweep chaos seeds over the standard workloads and report the findings.
+
+Runs every selected workload under N seeded fault schedules, prints a
+per-seed outcome table, writes the full machine-readable results to
+``results/chaos_sweep.json``, and exits nonzero if any run produced a
+*finding* (an invariant violation or an escaped exception).  Failing
+runs are shrunk to a minimal still-failing schedule (``--shrink``) and
+printed as runnable repro scripts.
+
+Examples::
+
+    python tools/chaos_sweep.py                          # all workloads, 20 seeds
+    python tools/chaos_sweep.py -w stencil -n 50
+    python tools/chaos_sweep.py --crash-rate 0.4 --shrink
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.chaos import (STANDARD_WORKLOADS, ChaosRunner,  # noqa: E402
+                         FaultConfig)
+
+OUT = os.path.join(os.path.dirname(__file__), "..", "results",
+                   "chaos_sweep.json")
+
+WORKLOADS = {cls.name: cls for cls in STANDARD_WORKLOADS}
+
+
+def parse_args(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("-w", "--workload", action="append",
+                    choices=sorted(WORKLOADS), default=None,
+                    help="workload to sweep (repeatable; default: all)")
+    ap.add_argument("-n", "--seeds", type=int, default=20,
+                    help="number of seeds (default 20)")
+    ap.add_argument("--start-seed", type=int, default=0,
+                    help="first seed (default 0)")
+    ap.add_argument("--drop-rate", type=float, default=0.01)
+    ap.add_argument("--delay-rate", type=float, default=0.08)
+    ap.add_argument("--reorder-rate", type=float, default=0.05)
+    ap.add_argument("--abort-rate", type=float, default=0.1)
+    ap.add_argument("--bounce-rate", type=float, default=0.05)
+    ap.add_argument("--ckpt-error-rate", type=float, default=0.02)
+    ap.add_argument("--ckpt-corrupt-rate", type=float, default=0.02)
+    ap.add_argument("--crash-rate", type=float, default=0.15)
+    ap.add_argument("--evac-rate", type=float, default=0.1)
+    ap.add_argument("--shrink", action="store_true",
+                    help="shrink failing schedules to minimal repros")
+    ap.add_argument("-o", "--output", default=OUT,
+                    help="JSON output path (default results/chaos_sweep.json)")
+    return ap.parse_args(argv)
+
+
+def result_row(result):
+    return {
+        "workload": result.workload,
+        "seed": result.seed,
+        "outcome": result.outcome,
+        "detail": result.detail,
+        "faults": len(result.schedule),
+        "schedule": [repr(ev) for ev in result.schedule],
+        "fingerprint": result.fingerprint(),
+        "makespan_ns": result.makespan_ns,
+        "counters": {k: v for k, v in result.counters.items() if v},
+    }
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    config = FaultConfig(
+        drop_rate=args.drop_rate, delay_rate=args.delay_rate,
+        reorder_rate=args.reorder_rate,
+        migrate_abort_rate=args.abort_rate,
+        migrate_bounce_rate=args.bounce_rate,
+        ckpt_error_rate=args.ckpt_error_rate,
+        ckpt_corrupt_rate=args.ckpt_corrupt_rate,
+        crash_rate=args.crash_rate, evac_rate=args.evac_rate)
+    seeds = range(args.start_seed, args.start_seed + args.seeds)
+    names = args.workload or sorted(WORKLOADS)
+
+    rows, findings = [], []
+    for name in names:
+        runner = ChaosRunner(WORKLOADS[name](), config)
+        print(f"== {name}: {args.seeds} seeds ==")
+        tally = {}
+        for result in runner.sweep(seeds):
+            rows.append(result_row(result))
+            tally[result.outcome] = tally.get(result.outcome, 0) + 1
+            if result.failed:
+                findings.append((runner, result))
+                print(f"  FINDING {result}")
+        print("  " + ", ".join(f"{k}={v}" for k, v in sorted(tally.items())))
+
+    for runner, result in findings:
+        schedule = result.schedule
+        if args.shrink and schedule:
+            schedule = runner.shrink(schedule)
+            print(f"\n-- shrunk {result.workload} seed={result.seed} from "
+                  f"{len(result.schedule)} to {len(schedule)} fault(s) --")
+            result = runner.replay(schedule)
+        print(f"\n-- repro script ({result.workload}, "
+              f"outcome {result.outcome}) --")
+        print(runner.repro_script(result))
+
+    payload = {
+        "config": {k: getattr(config, k) for k in (
+            "drop_rate", "delay_rate", "dup_rate", "reorder_rate",
+            "migrate_abort_rate", "migrate_bounce_rate",
+            "ckpt_error_rate", "ckpt_corrupt_rate",
+            "crash_rate", "evac_rate")},
+        "seeds": [int(s) for s in seeds],
+        "results": rows,
+        "findings": len(findings),
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(args.output)), exist_ok=True)
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"\nwrote {len(rows)} results to {args.output}")
+    if findings:
+        print(f"{len(findings)} chaos finding(s) — exiting nonzero")
+        return 1
+    print("no findings: every run passed or failed cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

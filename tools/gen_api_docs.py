@@ -22,7 +22,7 @@ OUT = os.path.join(os.path.dirname(__file__), "..", "docs", "api.md")
 PACKAGES = [
     "repro.vm", "repro.sim", "repro.core", "repro.flows", "repro.charm",
     "repro.ampi", "repro.balance", "repro.bigsim", "repro.pose",
-    "repro.workloads", "repro.bench", "repro.analysis",
+    "repro.workloads", "repro.bench", "repro.analysis", "repro.chaos",
 ]
 
 
