@@ -58,26 +58,26 @@ class PholdLP(Poser):
 
 def sequential_reference():
     """Re-run the same event semantics in strict timestamp order."""
-    import heapq
+    from repro.kernel import MinHeap
     logs = {i: [] for i in range(LPS)}
-    heap = []
+    heap = MinHeap()
     uid = 0
     for job in range(INITIAL_JOBS):
-        heapq.heappush(heap, (float(job + 1), uid,
-                              job % LPS, {"job": job, "hop": 0,
-                                          "vt": float(job + 1)}))
+        heap.push((float(job + 1), uid,
+                   job % LPS, {"job": job, "hop": 0,
+                               "vt": float(job + 1)}))
         uid += 1
     while heap:
-        vt, _, lp, data = heapq.heappop(heap)
+        vt, _, lp, data = heap.pop()
         logs[lp].append(data["job"] * 100 + data["hop"])
         if data["hop"] >= HOPS_PER_JOB:
             continue
         dst = int(prng(data["vt"], lp, data["job"]) * LPS) % LPS
         delay = 0.5 + 2.0 * prng(data["vt"], lp, data["job"] + 7)
         uid += 1
-        heapq.heappush(heap, (vt + delay, uid, dst,
-                              {"job": data["job"], "hop": data["hop"] + 1,
-                               "vt": data["vt"] + delay}))
+        heap.push((vt + delay, uid, dst,
+                   {"job": data["job"], "hop": data["hop"] + 1,
+                    "vt": data["vt"] + delay}))
     return logs
 
 

@@ -356,6 +356,15 @@ class AmpiRuntime:
     def run(self, max_rounds: int = 10_000_000) -> None:
         """Drive schedulers and the network until every rank finishes.
 
+        Deliberately *not* a sixth run loop: every scheduler pass and
+        every network drain below is a ``run()`` on one of the
+        per-processor thread kernels or on the cluster's event kernel —
+        this method only interleaves those kernels with the two AMPI
+        collective barriers (MPI_Migrate rebalancing and coordinated
+        checkpoints), whose ordering relative to in-flight traffic is
+        part of the runtime's determinism contract.  The ``queue.empty``
+        probe each round is O(1) on the kernel's live-event counter.
+
         Raises
         ------
         AmpiError

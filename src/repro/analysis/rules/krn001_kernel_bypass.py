@@ -1,0 +1,134 @@
+"""KRN001 kernel-bypass: heapq and hand-rolled run loops outside the kernel.
+
+The refactor that produced :mod:`repro.kernel` exists precisely because
+five subsystems had each grown their own event loop — five places to get
+``(time, seq)`` tie-breaking, cancellation, and quiescence subtly wrong,
+and five places the chaos injector and tracer could not see.  The kernel
+is now the single sanctioned scheduling site: ``MinHeap`` wraps the one
+legal ``heapq`` use, and every dispatch loop is ``EventKernel.run``.
+
+This rule keeps it that way.  It flags, anywhere outside
+``src/repro/kernel/``:
+
+* ``import heapq`` / ``from heapq import ...`` — priority queues belong
+  in :class:`repro.kernel.MinHeap`;
+* calls to ``heapq.*`` or to from-imported heap functions
+  (``heappush``/``heappop``/...);
+* hand-rolled dispatch loops: a ``while`` draining a run-queue-named
+  container (``ready``, ``run_queue``, ``events``, ...) via
+  ``popleft()`` / ``pop(0)`` — schedule kernel events instead.
+
+The drain check is gated on the receiver's *name* so that legitimate
+bounded buffer drains (e.g. SDAG's ``buf.popleft()`` when-matching) do
+not trip it; a run loop hiding behind an innocuous name still bypasses
+the kernel, but naming a run queue ``buf`` to dodge the linter does not
+survive review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule, Severity, register
+
+__all__ = ["KernelBypass"]
+
+#: heapq functions that from-import callers actually use.
+_HEAP_FNS = {"heappush", "heappop", "heapify", "heapreplace", "heappushpop"}
+
+#: Name fragments that mark a container as a run/event queue.  The drain
+#: check only fires on these, so ordinary buffer drains stay clean.
+_QUEUEISH = ("ready", "runq", "run_queue", "queue", "event")
+
+
+def _receiver_name(node: ast.expr) -> str:
+    """The final name component of a call receiver (``self.ready`` -> ``ready``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _queueish(name: str) -> bool:
+    low = name.lower()
+    return any(frag in low for frag in _QUEUEISH)
+
+
+def _is_drain_call(node: ast.AST) -> bool:
+    """``<queueish>.popleft()`` or ``<queueish>.pop(0)``."""
+    if not (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and _queueish(_receiver_name(node.func.value))):
+        return False
+    if node.func.attr == "popleft" and not node.args:
+        return True
+    return (node.func.attr == "pop" and len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == 0)
+
+
+@register
+class KernelBypass(Rule):
+    """heapq use or a hand-rolled dispatch loop outside ``repro.kernel``."""
+
+    id = "KRN001"
+    name = "kernel-bypass"
+    severity = Severity.ERROR
+    summary = ("heapq priority queues and hand-rolled run loops outside "
+               "src/repro/kernel bypass the instrumented event kernel "
+               "(use repro.kernel.MinHeap / EventKernel)")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        # The kernel package itself is the one sanctioned site.
+        if "repro/kernel/" in ctx.path.replace("\\", "/"):
+            return
+        from_imported = set()
+        seen_drains = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "heapq":
+                        yield self.found(
+                            ctx, node,
+                            "import of heapq outside src/repro/kernel — "
+                            "use repro.kernel.MinHeap (the one sanctioned "
+                            "heap) or schedule kernel events")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "heapq":
+                    from_imported.update(a.asname or a.name
+                                         for a in node.names)
+                    yield self.found(
+                        ctx, node,
+                        "import from heapq outside src/repro/kernel — "
+                        "use repro.kernel.MinHeap instead")
+            elif isinstance(node, ast.Call):
+                fn = node.func
+                if (isinstance(fn, ast.Attribute)
+                        and isinstance(fn.value, ast.Name)
+                        and fn.value.id == "heapq"):
+                    yield self.found(
+                        ctx, node,
+                        f"heapq.{fn.attr}() outside src/repro/kernel — "
+                        f"use repro.kernel.MinHeap instead")
+                elif (isinstance(fn, ast.Name) and fn.id in _HEAP_FNS
+                        and fn.id in from_imported):
+                    yield self.found(
+                        ctx, node,
+                        f"{fn.id}() outside src/repro/kernel — use "
+                        f"repro.kernel.MinHeap instead")
+            elif isinstance(node, ast.While):
+                for sub in ast.walk(ast.Module(body=node.body,
+                                               type_ignores=[])):
+                    # Nested whiles would visit the same call twice.
+                    if _is_drain_call(sub) and id(sub) not in seen_drains:
+                        seen_drains.add(id(sub))
+                        name = _receiver_name(sub.func.value)
+                        yield self.found(
+                            ctx, sub,
+                            f"hand-rolled run loop drains {name!r} "
+                            f"directly — dispatch through "
+                            f"repro.kernel.EventKernel (schedule events "
+                            f"and call run()) so tracing, chaos hooks, "
+                            f"and stop policies apply")

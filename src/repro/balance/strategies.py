@@ -20,10 +20,11 @@ strategy suite:
 
 from __future__ import annotations
 
-import heapq
 import random
 from abc import ABC, abstractmethod
 from typing import Dict, Hashable
+
+from repro.kernel import MinHeap
 
 __all__ = ["Strategy", "GreedyLB", "GreedyCommLB", "RefineLB", "RotateLB",
            "RandomLB", "NullLB"]
@@ -75,14 +76,13 @@ class GreedyLB(Strategy):
                     npes: int) -> Placement:
         speeds = (self._speeds if len(self._speeds) == npes
                   else [1.0] * npes)
-        heap = [(0.0, pe) for pe in range(npes)]
-        heapq.heapify(heap)
+        heap = MinHeap((0.0, pe) for pe in range(npes))
         out: Placement = {}
         # Ties broken deterministically by object key order.
         for obj in sorted(loads, key=lambda o: (-loads[o], str(o))):
-            finish, pe = heapq.heappop(heap)
+            finish, pe = heap.peek()
             out[obj] = pe
-            heapq.heappush(heap, (finish + loads[obj] / speeds[pe], pe))
+            heap.replace((finish + loads[obj] / speeds[pe], pe))
         return out
 
 

@@ -133,6 +133,14 @@ class BigSimEngine:
                 yield from mpi.migrate()
         self._target_clocks[cell] = tclock
 
+    @property
+    def kernel(self):
+        """The host cluster's event kernel.  BigSim has no run loop of
+        its own: target clocks are carried in message payloads while all
+        actual dispatch — sends, receives, migrations — happens as events
+        on this kernel (driven through the AMPI runtime's interleave)."""
+        return self.runtime.cluster.queue.kernel
+
     def run(self) -> BigSimResult:
         """Execute the simulation; returns timing results."""
         self.runtime.run()

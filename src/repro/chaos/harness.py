@@ -84,9 +84,10 @@ def wire_ampi_faults(rt, injector: FaultInjector) -> ChaosContext:
     ctx = ChaosContext(runtime=rt, injector=injector)
     injector.on_inject = lambda ev: check_invariants(ctx, "inject")
     prev_hook = rt.on_checkpoint
+    bus = rt.cluster.queue.hooks
 
     def barrier_hook():
-        ev = injector.on_barrier()
+        ev = bus.decide("checkpoint.barrier")
         if ev is not None:
             _apply_barrier_fault(rt, injector, ev)
         if prev_hook is not None:

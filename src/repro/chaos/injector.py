@@ -1,12 +1,16 @@
 """The fault injector: hooks a :class:`FaultSchedule` into the runtimes.
 
-One :class:`FaultInjector` attaches to a :class:`~repro.sim.cluster.Cluster`
-(message faults), a :class:`~repro.core.migration.ThreadMigrator` via the
-cluster (migration aborts and in-flight bounces), and a
-:class:`~repro.core.checkpoint.Checkpointer` (disk errors and corruption).
-The hooked subsystems call back into the ``on_*`` methods below at their
-faultable decision points; none of them is forked or subclassed — chaos is
-purely additive.
+One :class:`FaultInjector` subscribes to the cluster kernel's
+:class:`~repro.kernel.HookBus` — the only sanctioned interception point.
+:meth:`FaultInjector.attach` registers one adapter per channel the
+runtimes publish (``"net.send"``, ``"migration.start"``,
+``"migration.delivery"``, ``"checkpoint.write"``,
+``"checkpoint.barrier"``); the subsystems themselves never learn the
+injector exists, and no runtime call site is wrapped or subclassed —
+chaos is purely additive.  The adapters call the ``on_*`` methods below,
+whose consultation order against the schedule is the determinism
+contract: one :meth:`~repro.chaos.faults.FaultSchedule.decide` per
+channel visit, in kernel dispatch order.
 
 Message faults only apply to tags in ``faultable_tags`` (application
 traffic, ``"ampi"`` by default).  Thread-migration images are *never*
@@ -56,16 +60,64 @@ class FaultInjector:
         self.cluster = None
         self.checkpointer = None
 
+    #: channel name -> adapter-method name, in subscription order.
+    _CHANNELS = (
+        ("net.send", "_net_send"),
+        ("migration.start", "_migration_start"),
+        ("migration.delivery", "_migration_delivery"),
+        ("checkpoint.write", "_checkpoint_write"),
+        ("checkpoint.barrier", "_checkpoint_barrier"),
+    )
+
     # ------------------------------------------------------------------
 
     def attach(self, cluster, checkpointer=None) -> "FaultInjector":
-        """Register on a cluster (and optionally a checkpointer)."""
-        cluster.fault_injector = self
+        """Subscribe this injector on the cluster kernel's hook bus.
+
+        Every faultable decision point in the runtimes is a named bus
+        channel; one adapter per channel translates the channel protocol
+        into the ``on_*`` methods.  Attaching twice (to any cluster)
+        would double the schedule consultations and wreck determinism,
+        so it is an error.
+        """
+        if self.cluster is not None:
+            raise ChaosError("injector is already attached to a cluster")
         self.cluster = cluster
-        if checkpointer is not None:
-            checkpointer.fault_injector = self
-            self.checkpointer = checkpointer
+        self.checkpointer = checkpointer
+        bus = cluster.queue.hooks
+        for channel, method in self._CHANNELS:
+            bus.subscribe(channel, getattr(self, method))
         return self
+
+    def detach(self) -> None:
+        """Unsubscribe all channel adapters from the cluster's bus."""
+        if self.cluster is None:
+            raise ChaosError("injector is not attached")
+        bus = self.cluster.queue.hooks
+        for channel, method in self._CHANNELS:
+            bus.unsubscribe(channel, getattr(self, method))
+        self.cluster = None
+        self.checkpointer = None
+
+    # -- bus channel adapters -------------------------------------------
+
+    def _net_send(self, arrivals, msg) -> List[float]:
+        out: List[float] = []
+        for arrival in arrivals:
+            out.extend(self.on_send(msg, arrival))
+        return out
+
+    def _migration_start(self, thread, src_pe, dst_pe):
+        return True if self.on_migrate(thread, src_pe, dst_pe) else None
+
+    def _migration_delivery(self, image, msg):
+        return self.on_migration_delivery(image, msg)
+
+    def _checkpoint_write(self, blob, key) -> bytes:
+        return self.on_checkpoint_write(key, blob)
+
+    def _checkpoint_barrier(self):
+        return self.on_barrier()
 
     def notify(self, event: FaultEvent) -> None:
         """Fire the :attr:`on_inject` hook for an applied fault."""

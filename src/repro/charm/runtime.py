@@ -21,6 +21,7 @@ from repro.charm.chare import Chare
 from repro.charm.reduction import combine
 from repro.charm.sdag import SdagDriver
 from repro.core.pup import pup_pack, pup_unpack
+from repro.kernel import QuiescenceCounter
 from repro.sim.cluster import Cluster
 from repro.sim.dispatch import TagDispatcher
 from repro.sim.network import Message
@@ -123,9 +124,9 @@ class CharmRuntime:
         self.entries_invoked = 0
         self.messages_forwarded = 0
         self.migrations = 0
-        # quiescence-detection counters (application messages only)
-        self._qd_created = 0
-        self._qd_processed = 0
+        # quiescence-detection counters (application messages only),
+        # kept by the kernel's two-wave counting detector
+        self._qd = QuiescenceCounter()
 
     # ------------------------------------------------------------------
     # array creation
@@ -192,13 +193,14 @@ class CharmRuntime:
                     size_bytes: int, src_pe: Optional[int] = None) -> None:
         """Send an entry-method invocation to an element, wherever it is."""
         src = self.current_pe if src_pe is None else src_pe
-        self._qd_created += 1
+        self._qd.note_created()
         key = (aid, index)
         # Local fast path: same-processor invocations skip the network,
         # like Charm's in-process delivery.
         if key in self._local[src]:
             self.cluster.after(src, self.cluster.platform.event_dispatch_ns,
-                               self._execute, src, aid, index, method, args)
+                               self._execute, src, aid, index, method, args,
+                               category="charm.exec")
             return
         dst = self._believed_location(src, key)
         self.cluster.send(src, dst, ("invoke", aid, index, method, args),
@@ -272,12 +274,12 @@ class CharmRuntime:
             self.cluster.send(pe, dst, ("invoke", aid, index, method, args),
                               size_bytes=64, tag=_TAG)
             self.messages_forwarded += 1
-            self._qd_processed += 1   # balanced by the resend's arrival
-            self._qd_created += 1
+            self._qd.note_processed()  # balanced by the resend's arrival
+            self._qd.note_created()
             return
         self.cluster[pe].charge(self.cluster.platform.event_dispatch_ns)
         self.entries_invoked += 1
-        self._qd_processed += 1
+        self._qd.note_processed()
         driver = self._drivers.get(key)
         if driver is not None and not driver.finished:
             # An active SDAG method consumes named messages.
@@ -409,23 +411,19 @@ class CharmRuntime:
         """Invoke ``method`` on one element when the system is quiescent.
 
         Quiescence = no application entry-method messages outstanding.
-        Implemented as the classic two-wave counting protocol: a detector
-        timer snapshots the (created, processed) counters; when two
-        consecutive waves see identical, balanced counters, no message can
-        be in flight, and the callback fires.  Runtime-internal messages
-        (location updates) are not counted — quiescence is an
-        application-level property.
+        The kernel's :class:`~repro.kernel.QuiescenceCounter` runs the
+        classic two-wave counting protocol: a detector timer snapshots
+        the (created, processed) counters; when two consecutive waves see
+        identical, balanced counters, no message can be in flight, and
+        the callback fires.  Runtime-internal messages (location updates)
+        are not counted — quiescence is an application-level property.
         """
-
-        def wave(prev):
-            snap = (self._qd_created, self._qd_processed)
-            if prev == snap and snap[0] == snap[1]:
-                self.send_invoke(aid, index, method, (), size_bytes=32,
-                                 src_pe=0)
-            else:
-                self.cluster.after(0, check_ns, wave, snap)
-
-        self.cluster.after(0, check_ns, wave, None)
+        self._qd.detect(
+            lambda delay, fn, *a: self.cluster.after(
+                0, delay, fn, *a, category="charm.qd"),
+            lambda: self.send_invoke(aid, index, method, (), size_bytes=32,
+                                     src_pe=0),
+            check_ns=check_ns)
 
     # ------------------------------------------------------------------
     # array sections (multicast to a subset)
@@ -492,6 +490,19 @@ class CharmRuntime:
 
     # ------------------------------------------------------------------
 
+    # quiescence counters, exposed for tests and the conformance suite
+    @property
+    def _qd_created(self) -> int:
+        return self._qd.created
+
+    @property
+    def _qd_processed(self) -> int:
+        return self._qd.processed
+
     def run(self, **kwargs) -> int:
-        """Drain the cluster's event queue (convenience passthrough)."""
+        """Drain the cluster's event queue — the charm runtime has no run
+        loop of its own; every entry-method delivery, SDAG continuation,
+        and quiescence wave is an event on the cluster's
+        :class:`~repro.kernel.EventKernel` (convenience passthrough,
+        accepts ``until``/``max_events``/``policy``)."""
         return self.cluster.run(**kwargs)

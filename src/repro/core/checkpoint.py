@@ -81,10 +81,6 @@ class Checkpointer:
         self.migrator = migrator
         self.disk = disk or DiskModel()
         self._store: Dict[str, CheckpointRecord] = {}
-        #: Optional chaos hook (see :mod:`repro.chaos`): consulted on every
-        #: write, may raise :class:`CheckpointError` (transient disk error)
-        #: or return a corrupted blob (caught at restore by the seal).
-        self.fault_injector = None
         self.checkpoints_taken = 0
         self.restores_done = 0
         self.bytes_written = 0
@@ -119,8 +115,11 @@ class Checkpointer:
         # a silently wrong memory image.
         blob = pup_seal(pack_value(image))
         key = key or f"ckpt-{thread.name}-{self.checkpoints_taken}"
-        if self.fault_injector is not None:
-            blob = self.fault_injector.on_checkpoint_write(key, blob)
+        # The kernel's "checkpoint.write" filter channel may replace the
+        # blob (chaos: transient CheckpointError or a corrupted image that
+        # the seal catches at restore).
+        blob = self.migrator.cluster.queue.hooks.filter(
+            "checkpoint.write", blob, key=key)
         self._store[key] = CheckpointRecord(
             key=key, blob=blob, tid=thread.tid, name=thread.name,
             switches_at_checkpoint=thread.switches, thread_obj=thread)

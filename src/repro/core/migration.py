@@ -107,9 +107,11 @@ class ThreadMigrator:
             raise MigrationAborted(
                 f"cannot migrate {thread.name}: processor {dst_pe} has "
                 f"failed")
-        injector = self.cluster.fault_injector
-        if injector is not None and injector.on_migrate(thread, src_pe,
-                                                        dst_pe):
+        # The kernel's "migration.start" decision channel is the sanctioned
+        # interception point: a subscriber (the chaos injector) returning a
+        # truthy verdict vetoes the migration before any state moves.
+        if self.cluster.queue.hooks.decide("migration.start", thread=thread,
+                                           src_pe=src_pe, dst_pe=dst_pe):
             self.migrations_aborted += 1
             raise MigrationAborted(
                 f"migration of {thread.name} pe{src_pe}->pe{dst_pe} "
@@ -145,9 +147,11 @@ class ThreadMigrator:
 
     def _on_message(self, msg: Message) -> None:
         image: ThreadImage = msg.payload
-        injector = self.cluster.fault_injector
-        if (injector is not None and not image.stats.get("bounced")
-                and injector.on_migration_delivery(image, msg) == "bounce"):
+        # An already-bounced image is never offered to the
+        # "migration.delivery" channel again (one bounce per migration).
+        if (not image.stats.get("bounced")
+                and self.cluster.queue.hooks.decide(
+                    "migration.delivery", image=image, msg=msg) == "bounce"):
             # Mid-flight abort: the destination refuses the image (crash
             # during migration).  Nothing was unpacked there, so the full
             # image simply ships back and the thread is rebuilt at home —

@@ -11,14 +11,26 @@ lives on its own stack (and therefore migrates with it).
 Scheduling is the simple structure the paper recommends for many
 applications: "a circular linked list of runnable threads" (Section 4.3) —
 a FIFO ready queue — plus suspend/awaken.
+
+Since the run-loop unification the ready queue is not a hand-rolled
+deque: each runnable thread's next resumption is a scheduled event on a
+per-processor :class:`repro.kernel.EventKernel` (category
+``"cth.resume"``), making threads literally "a veneer over events" — the
+paper's interchangeability claim, enforced architecturally.  Under the
+``"fifo"`` policy every resumption is scheduled at key 0.0 so the
+kernel's ``(time, seq)`` tie-break reproduces FIFO order exactly; under
+``"priority"`` the key is the thread's priority, and the same tie-break
+keeps equal priorities stable — bit-for-bit the orders the old deque
+produced.  :class:`_ReadyQueue` keeps the historical ``sched.ready``
+surface (append/remove/membership/len) over the kernel's live events.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Iterator, Optional
 
 from repro.errors import SchedulerError, ThreadError
+from repro.kernel import EventKernel, RunPolicy
 from repro.core.context import SWAP32, SWAP64, MinimalSwap, RegisterFile
 from repro.core.stacks import StackManager
 from repro.core.swapglobal import GlobalOffsetTable, GlobalRegistry
@@ -26,6 +38,49 @@ from repro.core.thread import ThreadBody, ThreadState, UThread
 from repro.sim.processor import Processor
 
 __all__ = ["CthScheduler"]
+
+
+class _ReadyQueue:
+    """Deque-compatible view over the scheduler kernel's live events.
+
+    Every entry in the backing :class:`~repro.kernel.EventKernel` is one
+    pending thread resumption, so the queue's length, membership, and
+    iteration all derive from the kernel's live-event set.  ``append``
+    schedules a resumption (through the scheduler's policy) and
+    ``remove`` cancels one — the two mutations migration and the tests
+    perform directly on ``sched.ready``.
+    """
+
+    __slots__ = ("_sched",)
+
+    def __init__(self, sched: "CthScheduler") -> None:
+        self._sched = sched
+
+    def append(self, thread: "UThread") -> None:
+        self._sched._enqueue(thread)
+
+    def remove(self, thread: "UThread") -> None:
+        for ev in self._sched.kernel.live_events():
+            if ev.args and ev.args[0] is thread:
+                ev.cancel()
+                return
+        raise ValueError(f"{thread!r} not in ready queue")
+
+    def __contains__(self, thread: object) -> bool:
+        return any(ev.args and ev.args[0] is thread
+                   for ev in self._sched.kernel.live_events())
+
+    def __len__(self) -> int:
+        return len(self._sched.kernel)
+
+    def __bool__(self) -> bool:
+        return not self._sched.kernel.empty
+
+    def __iter__(self) -> Iterator["UThread"]:
+        return (ev.args[0] for ev in self._sched.kernel.live_events())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<_ReadyQueue {[t.name for t in self]}>"
 
 
 class CthScheduler:
@@ -79,7 +134,13 @@ class CthScheduler:
         #: The processor's one physical register file; suspended threads'
         #: registers live on their stacks (when swap emulation is on).
         self.machine_regs = RegisterFile(self.arch)
-        self.ready: deque[UThread] = deque()
+        #: The per-processor event kernel; each pending thread resumption
+        #: is one scheduled event on it.  Causality checking is off: the
+        #: "time" axis here is a scheduling key (0.0 under FIFO, the
+        #: thread priority under "priority"), not a clock.
+        self.kernel = EventKernel(name=f"cth-pe{processor.id}",
+                                  causality=False)
+        self.ready = _ReadyQueue(self)
         self.current: Optional[UThread] = None
         self.threads: Dict[tuple, UThread] = {}
         #: Handler for directives the core scheduler does not understand
@@ -150,16 +211,18 @@ class CthScheduler:
         return thread
 
     def _enqueue(self, thread: UThread) -> None:
-        """Add a READY thread to the run queue per the scheduling policy."""
-        if self.policy == "fifo":
-            self.ready.append(thread)
-            return
-        prio = getattr(thread, "priority", 0)
-        for i, other in enumerate(self.ready):
-            if getattr(other, "priority", 0) > prio:
-                self.ready.insert(i, thread)
-                return
-        self.ready.append(thread)
+        """Queue a thread resumption per the scheduling policy.
+
+        FIFO schedules every resumption at key 0.0 — the kernel's
+        ``(time, seq)`` tie-break is insertion order, i.e. the circular
+        run queue.  Priority uses the thread's priority as the key;
+        smaller numbers run first, equal priorities stay FIFO.
+        """
+        key = (0.0 if self.policy == "fifo"
+               else float(getattr(thread, "priority", 0)))
+        self.kernel.schedule(key, self._resume, thread,
+                             category="cth.resume",
+                             flow=thread.name or f"tid{thread.tid}")
 
     def _seed_inactive(self, thread: UThread, ctx: int) -> None:
         word = self.space.layout.word_bytes
@@ -192,20 +255,23 @@ class CthScheduler:
 
         Returns the number of context switches performed by this call.
         """
-        switches = 0
-        while self.ready:
-            if max_switches is not None and switches >= max_switches:
-                break
-            thread = self.ready.popleft()
-            if thread.state is not ThreadState.READY:
-                continue
-            self._dispatch(thread)
-            switches += 1
-        return switches
+        return self.kernel.run(RunPolicy(max_events=max_switches))
 
     def step_one(self) -> bool:
         """Run exactly one ready thread to its next directive."""
         return self.run(max_switches=1) == 1
+
+    def _resume(self, thread: UThread) -> None:
+        """Kernel dispatch target for one queued thread resumption.
+
+        A thread that is no longer READY (it was popped through another
+        path, suspended, or finished since this resumption was queued)
+        makes the event void — it must not count against a switch budget.
+        """
+        if thread.state is not ThreadState.READY:
+            self.kernel.skip_current()
+            return
+        self._dispatch(thread)
 
     def _dispatch(self, thread: UThread) -> None:
         self._switch_in(thread)

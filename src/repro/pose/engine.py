@@ -89,6 +89,15 @@ class PoseEngine:
         what reorders event arrival and makes rollback necessary).
     """
 
+    @property
+    def kernel(self):
+        """The cluster's event kernel: every optimistic event delivery,
+        deferral, and antimessage is dispatched through it (categories
+        ``pose.deliver`` / ``pose.defer`` / ``net.pose``), so the POSE
+        virtual-time machinery rides the same instrumented core as the
+        other runtimes."""
+        return self.cluster.queue.kernel
+
     def __init__(self, cluster: Cluster, throttle_window: Optional[float] = None):
         #: Optimism control (the actual contribution of the POSE paper the
         #: ICPP paper cites: adaptive speculation windows).  An event whose
@@ -149,9 +158,13 @@ class PoseEngine:
     # execution
     # ------------------------------------------------------------------
 
-    def run(self) -> PoseStats:
-        """Process events until none remain; returns run statistics."""
-        self.cluster.run()
+    def run(self, policy=None) -> PoseStats:
+        """Process events until none remain; returns run statistics.
+
+        ``policy`` (a :class:`~repro.kernel.RunPolicy`) bounds the
+        underlying kernel drive; the default drains to quiescence.
+        """
+        self.cluster.run(policy=policy)
         self._fossil_collect()
         return PoseStats(
             events_processed=self.events_processed,
@@ -181,7 +194,8 @@ class PoseEngine:
             # Local delivery still goes through the network queue (zero
             # hop) so ordering remains event-driven.
             self.cluster.after(dst_pe, self.cluster.platform.event_dispatch_ns,
-                               self._deliver, ev)
+                               self._deliver, ev,
+                               category="pose.deliver", flow=ev.dst)
         else:
             self.cluster.send(src_pe, dst_pe, ev, size_bytes=64 + ev.uid % 7,
                               tag=_TAG)
@@ -205,7 +219,8 @@ class PoseEngine:
             self.deferrals += 1
             pe = self._pe[ev.dst]
             self.cluster.after(pe, 10 * self.cluster.platform.event_dispatch_ns,
-                               self._deliver, ev)
+                               self._deliver, ev,
+                               category="pose.defer", flow=ev.dst)
             return
         if self._straggles(ev):
             self._rollback(ev.dst, ev.vt)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional
 
 from repro.errors import CommError, ReproError
+from repro.kernel import RunPolicy
 from repro.sim.event import Event, EventQueue
 from repro.sim.network import Message, Network
 from repro.sim.platform import PlatformProfile, get_platform
@@ -41,11 +42,6 @@ class Cluster:
         #: When tracing is enabled, every send appends
         #: (send_time, src, dst, tag, size_bytes) here.
         self.message_trace: Optional[List[tuple]] = None
-        #: Optional fault-injection hook (see :mod:`repro.chaos`).  When
-        #: set, every send's delivery schedule is routed through
-        #: ``fault_injector.on_send``, which may drop, delay, duplicate,
-        #: or reorder the message deterministically.
-        self.fault_injector = None
 
     def __len__(self) -> int:
         return len(self.processors)
@@ -81,17 +77,22 @@ class Cluster:
             self.message_trace.append((msg.send_time, src, dst, tag,
                                        size_bytes))
         receiver = self.processors[dst]
-        if self.fault_injector is not None:
-            arrivals = self.fault_injector.on_send(msg, arrival)
-        else:
-            arrivals = [arrival]
+        # The kernel's "net.send" filter channel is the sanctioned
+        # interception point for the delivery schedule: subscribers (the
+        # chaos injector) may drop, delay, duplicate, or reorder the
+        # arrivals deterministically.  Unsubscribed, the list passes
+        # through untouched.
+        arrivals = self.queue.hooks.filter("net.send", [arrival], msg=msg)
+        category = f"net.{tag or 'raw'}"
         for t in arrivals:
             t = max(t, self.queue.current_time)
-            self.queue.schedule(t, receiver.deliver, msg, t)
+            self.queue.schedule(t, receiver.deliver, msg, t,
+                                category=category, flow=f"pe{dst}")
         return msg
 
     def at(self, proc_id: int, time: float, fn: Callable[..., Any],
-           *args: Any) -> Event:
+           *args: Any, category: str = "timer",
+           flow: Optional[str] = None) -> Event:
         """Schedule ``fn(*args)`` on processor ``proc_id`` at virtual ``time``."""
         proc = self.processors[proc_id]
 
@@ -99,20 +100,27 @@ class Cluster:
             proc.clock.advance_to(time)
             fn(*args)
 
-        return self.queue.schedule(max(time, self.queue.current_time), fire)
+        fire.__qualname__ = getattr(fn, "__qualname__", "Cluster.at.fire")
+        return self.queue.schedule(max(time, self.queue.current_time), fire,
+                                   category=category,
+                                   flow=flow or f"pe{proc_id}")
 
     def after(self, proc_id: int, delay_ns: float, fn: Callable[..., Any],
-              *args: Any) -> Event:
+              *args: Any, category: str = "timer",
+              flow: Optional[str] = None) -> Event:
         """Schedule ``fn`` on ``proc_id`` after ``delay_ns`` of its local time."""
         proc = self.processors[proc_id]
-        return self.at(proc_id, proc.now + delay_ns, fn, *args)
+        return self.at(proc_id, proc.now + delay_ns, fn, *args,
+                       category=category, flow=flow)
 
     # -- execution ----------------------------------------------------------
 
     def run(self, until: Optional[float] = None,
-            max_events: Optional[int] = None) -> int:
+            max_events: Optional[int] = None,
+            policy: Optional[RunPolicy] = None) -> int:
         """Drain the event queue; returns the number of events processed."""
-        return self.queue.run(until=until, max_events=max_events)
+        return self.queue.run(until=until, max_events=max_events,
+                              policy=policy)
 
     def enable_tracing(self) -> None:
         """Record every message send into :attr:`message_trace` (debugging).

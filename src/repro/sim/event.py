@@ -1,94 +1,83 @@
-"""Discrete-event queue driving the simulated cluster."""
+"""Discrete-event queue driving the simulated cluster.
+
+Since the run-loop unification this module is a thin façade: the actual
+time-ordered dispatch, cancellation bookkeeping, stop conditions, and
+instrumentation all live in :class:`repro.kernel.EventKernel`.  The
+façade preserves the historical ``EventQueue`` surface (``schedule`` /
+``peek_time()`` / ``step`` / ``run(until, max_events)``) that the
+cluster and a decade of tests speak, and exposes the kernel itself as
+:attr:`EventQueue.kernel` for hook-bus subscribers (tracers, the chaos
+injector) and :class:`~repro.kernel.RunPolicy` users.
+"""
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from typing import Any, Callable, Optional
 
-from repro.errors import ReproError
+from repro.kernel import EventKernel, KernelEvent, RunPolicy
 
 __all__ = ["Event", "EventQueue"]
 
-
-class Event:
-    """One scheduled event: a callback to fire at a virtual time.
-
-    Events compare by ``(time, seq)`` where ``seq`` is a global insertion
-    counter, so simultaneous events fire in a deterministic FIFO order.
-    """
-
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
-
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
-
-    def cancel(self) -> None:
-        """Mark the event so it is skipped when popped."""
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        flag = " cancelled" if self.cancelled else ""
-        return f"<Event t={self.time:.1f} #{self.seq}{flag}>"
+#: The event type is the kernel's; re-exported under its historical name.
+Event = KernelEvent
 
 
 class EventQueue:
-    """A time-ordered queue of :class:`Event` objects.
+    """A time-ordered queue of :class:`Event` objects (kernel façade).
 
     The queue tracks the time of the last event popped; scheduling an event
     in the past (before that time) is an error — it would break causality in
     the conservative event-order execution the cluster uses.
     """
 
+    __slots__ = ("kernel",)
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
-        self.current_time = 0.0
-        self.events_processed = 0
+        self.kernel = EventKernel(name="sim", causality=True)
+
+    @property
+    def hooks(self):
+        """The kernel's :class:`~repro.kernel.HookBus` — the sanctioned
+        interception point for tracing and fault injection."""
+        return self.kernel.hooks
+
+    @property
+    def current_time(self) -> float:
+        return self.kernel.current_time
+
+    @current_time.setter
+    def current_time(self, value: float) -> None:
+        self.kernel.current_time = value
+
+    @property
+    def events_processed(self) -> int:
+        return self.kernel.events_processed
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self.kernel)
 
     @property
     def empty(self) -> bool:
-        """True when no live events remain."""
-        return len(self) == 0
+        """True when no live events remain (O(1))."""
+        return self.kernel.empty
 
-    def schedule(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+    def schedule(self, time: float, fn: Callable[..., Any], *args: Any,
+                 category: str = "", flow: Optional[str] = None) -> Event:
         """Schedule ``fn(*args)`` to run at virtual time ``time``."""
-        if time < self.current_time:
-            raise ReproError(
-                f"cannot schedule event at {time} before current time "
-                f"{self.current_time} (causality violation)"
-            )
-        ev = Event(time, next(self._counter), fn, args)
-        heapq.heappush(self._heap, ev)
-        return ev
+        return self.kernel.schedule(time, fn, *args,
+                                    category=category, flow=flow)
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None."""
-        self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        return self.kernel.peek_time()
 
     def step(self) -> bool:
         """Pop and run the next live event.  Returns False if queue empty."""
-        self._drop_cancelled()
-        if not self._heap:
-            return False
-        ev = heapq.heappop(self._heap)
-        self.current_time = ev.time
-        self.events_processed += 1
-        ev.fn(*ev.args)
-        return True
+        return self.kernel.step()
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None,
+            policy: Optional[RunPolicy] = None) -> int:
         """Run events in order.
 
         Parameters
@@ -97,22 +86,15 @@ class EventQueue:
             Stop before running any event later than this time.
         max_events:
             Stop after this many events (guards against runaway loops).
+        policy:
+            A full :class:`~repro.kernel.RunPolicy`; overrides the two
+            shorthands when given.
 
         Returns the number of events processed by this call.
         """
-        processed = 0
-        while True:
-            if max_events is not None and processed >= max_events:
-                break
-            t = self.peek_time()
-            if t is None:
-                break
-            if until is not None and t > until:
-                break
-            self.step()
-            processed += 1
-        return processed
+        if policy is None:
+            policy = RunPolicy(until=until, max_events=max_events)
+        return self.kernel.run(policy)
 
-    def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<EventQueue {self.kernel!r}>"

@@ -1,0 +1,64 @@
+"""KRN001 fixture: heapq use and hand-rolled run loops outside the kernel.
+
+Every line the analyzer must flag carries an expect marker; the clean
+cases at the bottom must stay silent.
+"""
+
+import heapq  # expect: KRN001
+from heapq import heappush  # expect: KRN001
+from collections import deque
+
+
+def schedule_both_ways(pending, item):
+    heapq.heappush(pending, item)  # expect: KRN001
+    heappush(pending, item)  # expect: KRN001
+    return heapq.heappop(pending)  # expect: KRN001
+
+
+def drain(ready):
+    while ready:
+        thread = ready.popleft()  # expect: KRN001
+        thread.run()
+
+
+class Scheduler:
+    def __init__(self):
+        self.run_queue = []
+        self.events = deque()
+
+    def loop(self):
+        while self.run_queue:
+            ev = self.run_queue.pop(0)  # expect: KRN001
+            ev.fire()
+
+    def loop_nested(self):
+        while True:
+            while self.events:
+                self.events.popleft()()  # expect: KRN001
+
+
+def suppressed_heapify(items):
+    # The one sanctioned escape hatch, for the suppression test.
+    heapq.heapify(items)  # migralint: disable=KRN001
+
+
+# -- clean cases ------------------------------------------------------------
+
+def sdag_style_buffer_drain(buf, count):
+    """A bounded message-buffer drain is not a run loop."""
+    got = []
+    while buf and len(got) < count:
+        got.append(buf.popleft())
+    return got
+
+
+def stack_pop_is_fine(stack):
+    while stack:
+        stack.pop()
+
+
+def popleft_outside_a_loop(queue_like):
+    """Single dequeue, no loop: not a dispatch loop."""
+    if queue_like:
+        return queue_like.popleft()
+    return None

@@ -1,4 +1,4 @@
-"""The five shipped rules against their fixture modules.
+"""The shipped rules against their fixture modules.
 
 Each fixture marks every line the analyzer must flag with
 ``# expect: RULE[, RULE]``; the test asserts the *exact* set of
@@ -32,6 +32,7 @@ def expected_findings(path):
 
 
 FIXTURE_CASES = [
+    ("krn001_runloop.py", "KRN001"),
     ("mig001_pup.py", "MIG001"),
     ("mig002_globals.py", "MIG002"),
     ("mig003_state.py", "MIG003"),
@@ -116,6 +117,6 @@ def test_clean_module_is_clean():
 
 def test_rule_metadata_is_complete():
     for rule in all_rules():
-        assert re.fullmatch(r"MIG\d{3}", rule.id)
+        assert re.fullmatch(r"(MIG|KRN)\d{3}", rule.id)
         assert rule.name and rule.summary
         assert rule.severity.value in ("error", "warning")

@@ -146,7 +146,6 @@ def checkpointed_thread():
 def test_io_error_raises_at_write_time():
     cl, ck, t = checkpointed_thread()
     injector = scripted_injector(cl, FaultEvent("ckpt", 0, "io_error"))
-    ck.fault_injector = injector
     with pytest.raises(CheckpointError):
         ck.checkpoint(t, key="k")
     assert injector.counters["ckpt_io_errors"] == 1
@@ -158,7 +157,6 @@ def test_io_error_raises_at_write_time():
 def test_corrupt_write_fails_loudly_at_restore():
     cl, ck, t = checkpointed_thread()
     injector = scripted_injector(cl, FaultEvent("ckpt", 0, "corrupt", 0.5))
-    ck.fault_injector = injector
     ck.checkpoint(t, key="k")          # the write itself "succeeds"
     assert injector.counters["ckpt_corrupted"] == 1
     assert "k" in injector.corrupted_keys

@@ -1,0 +1,119 @@
+"""Kernel conformance: every runtime's kernel obeys the same contract.
+
+The five run loops of the tree — the simulated cluster queue, the Cth
+thread scheduler, charm/AMPI delivery, BigSim, and POSE — all dispatch
+through :class:`repro.kernel.EventKernel`.  This suite drives the kernel
+*as exposed by each runtime* through the behaviors the unification must
+hold invariant: FIFO order at equal timestamps, cancellation during
+dispatch, re-entrant scheduling from a handler, and exact quiescence.
+"""
+
+import pytest
+
+from repro.kernel import EventKernel
+from repro.sim import Cluster
+from repro.sim.event import EventQueue
+from tests.core.conftest import make_cluster
+
+
+def _sim_kernel():
+    return EventQueue().kernel
+
+
+def _cth_kernel():
+    _, scheds, _, _ = make_cluster(1)
+    return scheds[0].kernel
+
+
+def _charm_kernel():
+    from repro.charm import CharmRuntime
+    cl = Cluster(2)
+    rt = CharmRuntime(cl)
+    return rt.cluster.queue.kernel
+
+
+def _bigsim_kernel():
+    from repro.bigsim import BigSimEngine, TargetMachine
+    from repro.workloads.md import MDConfig, MDWorkload
+    eng = BigSimEngine(2, TargetMachine(dims=(2, 2, 2)),
+                       MDWorkload(MDConfig(dims=(2, 2, 2))), steps=1)
+    eng.run()               # drain the application; the kernel stays up
+    assert eng.kernel.empty
+    return eng.kernel
+
+
+def _pose_kernel():
+    from repro.pose import PoseEngine
+    eng = PoseEngine(Cluster(2))
+    return eng.kernel
+
+
+PROVIDERS = {
+    "sim": _sim_kernel,
+    "cth": _cth_kernel,
+    "charm": _charm_kernel,
+    "bigsim": _bigsim_kernel,
+    "pose": _pose_kernel,
+}
+
+
+@pytest.fixture(params=sorted(PROVIDERS))
+def kernel(request):
+    k = PROVIDERS[request.param]()
+    assert isinstance(k, EventKernel)
+    assert k.empty, "conformance drives start from an idle kernel"
+    return k
+
+
+def test_fifo_at_equal_timestamps(kernel):
+    fired = []
+    t = kernel.current_time + 10.0
+    for i in range(6):
+        kernel.schedule(t, fired.append, i)
+    kernel.run()
+    assert fired == list(range(6))
+
+
+def test_cancellation_during_dispatch(kernel):
+    fired = []
+    t = kernel.current_time
+    victim = kernel.schedule(t + 2.0, fired.append, "victim")
+    kernel.schedule(t + 1.0, victim.cancel)
+    kernel.schedule(t + 3.0, fired.append, "survivor")
+    kernel.run()
+    assert fired == ["survivor"]
+    assert victim.cancelled and not victim.fired
+    assert kernel.empty
+
+
+def test_reentrant_scheduling_from_a_handler(kernel):
+    fired = []
+    t = kernel.current_time
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            kernel.schedule(kernel.current_time + 1.0, chain, depth + 1)
+
+    kernel.schedule(t + 1.0, chain, 0)
+    kernel.run()
+    assert fired == [0, 1, 2, 3]
+    assert kernel.empty
+
+
+def test_quiescence_exactness(kernel):
+    quiesced = []
+    fn = kernel.hooks.subscribe("on_quiescence", quiesced.append)
+    try:
+        t = kernel.current_time
+        for i in range(3):
+            kernel.schedule(t + float(i + 1), lambda: None)
+        assert kernel.run() == 3
+        # One drain, one quiescence — no spurious re-fires, and the
+        # processed count is exact (no phantom or double-counted events).
+        assert quiesced == [kernel]
+        assert kernel.empty and len(kernel) == 0
+        assert kernel.run() == 0
+        assert len(quiesced) == 2
+    finally:
+        kernel.hooks.unsubscribe("on_quiescence", fn)

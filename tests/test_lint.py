@@ -27,7 +27,10 @@ def test_gate_covers_the_whole_tree():
     names = {os.path.basename(f) for f in files}
     assert {"pup.py", "swapglobal.py", "sdag.py", "stencil.py",
             "quickstart.py", "faults.py", "injector.py", "invariants.py",
-            "harness.py", "runner.py"} <= names
+            "harness.py", "runner.py",
+            # the event kernel must stay inside the gate too
+            "pqueue.py", "hooks.py", "policy.py", "trace.py",
+            "quiescence.py"} <= names
 
 
 def test_shipped_tree_is_lint_clean():
@@ -35,6 +38,24 @@ def test_shipped_tree_is_lint_clean():
     active = [f for f in findings if not f.suppressed]
     assert not active, "migralint gate failed:\n" + "\n".join(
         f.render() for f in active)
+
+
+def test_no_heapq_outside_kernel():
+    """The acceptance grep, as a test: ``git grep heapq -- src/repro``
+    must only hit ``src/repro/kernel/`` (MinHeap is the one sanctioned
+    heap; KRN001 enforces the AST-level version of this)."""
+    src_repro = os.path.join(ROOT, "src", "repro")
+    offenders = []
+    for path in collect_files([src_repro]):
+        rel = os.path.relpath(path, src_repro).replace(os.sep, "/")
+        # Mirror the grep filter: the kernel package plus the lint rule
+        # that polices it (krn001_kernel_bypass) are the only mentions.
+        if "kernel" in rel:
+            continue
+        with open(path, encoding="utf-8") as fh:
+            if "heapq" in fh.read():
+                offenders.append(rel)
+    assert not offenders, offenders
 
 
 def test_suppressions_stay_rare():

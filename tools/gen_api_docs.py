@@ -20,9 +20,10 @@ import sys
 OUT = os.path.join(os.path.dirname(__file__), "..", "docs", "api.md")
 
 PACKAGES = [
-    "repro.vm", "repro.sim", "repro.core", "repro.flows", "repro.charm",
-    "repro.ampi", "repro.balance", "repro.bigsim", "repro.pose",
-    "repro.workloads", "repro.bench", "repro.analysis", "repro.chaos",
+    "repro.kernel", "repro.vm", "repro.sim", "repro.core", "repro.flows",
+    "repro.charm", "repro.ampi", "repro.balance", "repro.bigsim",
+    "repro.pose", "repro.workloads", "repro.bench", "repro.analysis",
+    "repro.chaos",
 ]
 
 
