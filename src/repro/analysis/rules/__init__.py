@@ -3,11 +3,12 @@
 Each module defines one rule, grounded in a specific mechanism of the
 paper: PUP traversal (MIG001), swap-global privatization (MIG002), the
 migration state contract (MIG003), SDAG coordination discipline (MIG004),
-isomalloc address validity (MIG005), and the single-event-kernel
-discipline (KRN001).
+isomalloc address validity (MIG005), the single-event-kernel discipline
+(KRN001), and the sweep-worker purity contract (EXC001).
 """
 
 from repro.analysis.rules import (  # noqa: F401
+    exc001_worker_purity,
     krn001_kernel_bypass,
     mig001_pup,
     mig002_globals,

@@ -1,0 +1,175 @@
+"""EXC001 worker-purity: sweep workers rebuild runtimes, never import them.
+
+The parallel sweep executor's determinism contract rests on one
+discipline: a cell is **plain data** plus the dotted name of an entry
+point, and the worker rebuilds whatever runtime it needs *inside the
+entry function* through public constructors.  The moment live kernel
+state — a scheduler, a cluster, an event queue — crosses a process
+boundary (pickled into a task, captured in a closure, or baked into a
+module global that every worker inherits), serial and parallel runs can
+diverge and a cached result stops meaning anything.
+
+This rule polices the worker side of that contract.  In any module that
+belongs to ``src/repro/exec/`` or imports ``multiprocessing`` (i.e. any
+module that ships work to other processes), it flags:
+
+* ``import pickle`` / ``dill`` / ``cloudpickle`` — hand-pickling is how
+  live state sneaks into a payload; cells must stay JSON-able plain
+  data, and ``multiprocessing``'s own transport only ever sees them;
+* a ``lambda`` or locally-defined function passed as a process-pool
+  target (``Process(target=...)``, ``submit``, ``apply_async``,
+  ``map``) — closures capture live state and cannot be re-resolved by
+  name in a fresh worker; workers are addressed by dotted path;
+* a runtime/kernel constructor called at module scope — a module-level
+  ``AmpiRuntime(...)`` or ``EventKernel(...)`` runs in *every* worker at
+  import time and becomes shared warm state that cells implicitly
+  depend on; construct runtimes per cell, inside the entry point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule, Severity, register
+
+__all__ = ["WorkerPurity"]
+
+#: Serialization modules that smuggle live objects into payloads.
+_PICKLERS = {"pickle", "dill", "cloudpickle"}
+
+#: Call names that hand a callable to another process.
+_DISPATCHERS = {"Process", "submit", "apply_async", "map", "map_async",
+                "starmap", "imap", "imap_unordered"}
+
+#: Public constructors of live runtime/kernel state.  Calling one at
+#: module scope turns import into hidden per-worker setup.
+_RUNTIME_CTORS = {
+    "AmpiRuntime", "CharmRuntime", "EventKernel", "Cluster", "ChaosRunner",
+    "PoseEngine", "BigSimEngine", "FaultInjector", "CthScheduler",
+    "HookBus", "LBManager", "Checkpointer", "ThreadMigrator",
+}
+
+
+def _call_name(node: ast.Call) -> str:
+    fn = node.func
+    if isinstance(fn, ast.Attribute):
+        return fn.attr
+    if isinstance(fn, ast.Name):
+        return fn.id
+    return ""
+
+
+def _local_defs(tree: ast.Module) -> set:
+    """Names of functions defined anywhere in this module."""
+    return {node.name for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+
+def _module_scope_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Top-level statements, descending into If/Try/With but not defs."""
+    stack = list(tree.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.If, ast.Try, ast.With, ast.For, ast.While)):
+            for field in ("body", "orelse", "finalbody", "handlers"):
+                for child in getattr(node, field, []):
+                    stack.extend(child.body if isinstance(
+                        child, ast.ExceptHandler) else [child])
+
+
+@register
+class WorkerPurity(Rule):
+    """Pickled live state or module-scope runtimes in worker modules."""
+
+    id = "EXC001"
+    name = "worker-purity"
+    severity = Severity.ERROR
+    summary = ("sweep worker modules must ship cells as plain data and "
+               "rebuild runtimes through public constructors inside the "
+               "entry point — no pickle/dill, no closure targets, no "
+               "module-scope runtime construction")
+
+    def _in_scope(self, ctx: ModuleContext) -> bool:
+        path = ctx.path.replace("\\", "/")
+        if "repro/exec/" in path:
+            return True
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                if any(a.name.split(".")[0] == "multiprocessing"
+                       for a in node.names):
+                    return True
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] == "multiprocessing":
+                    return True
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self._in_scope(ctx):
+            return
+        local_defs = _local_defs(ctx.tree)
+        # 1. hand-pickling imports.
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in _PICKLERS:
+                        yield self.found(
+                            ctx, node,
+                            f"import of {alias.name.split('.')[0]} in a "
+                            f"worker module — cells must stay JSON-able "
+                            f"plain data; hand-pickling is how live "
+                            f"kernel state sneaks across the process "
+                            f"boundary")
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] in _PICKLERS:
+                    yield self.found(
+                        ctx, node,
+                        f"import from {node.module} in a worker module — "
+                        f"cells must stay JSON-able plain data")
+            elif isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name not in _DISPATCHERS:
+                    continue
+                candidates = list(node.args)
+                candidates += [kw.value for kw in node.keywords
+                               if kw.arg in (None, "target", "func", "fn")]
+                for arg in candidates:
+                    if isinstance(arg, ast.Lambda):
+                        yield self.found(
+                            ctx, arg,
+                            f"lambda passed to {name}() — a worker "
+                            f"target must be a module-level function "
+                            f"resolvable by dotted path, not a closure "
+                            f"over live state")
+                    elif (isinstance(arg, ast.Name)
+                            and arg.id in local_defs
+                            and self._is_nested_def(ctx.tree, arg.id)):
+                        yield self.found(
+                            ctx, arg,
+                            f"locally-defined function {arg.id!r} passed "
+                            f"to {name}() — worker targets must be "
+                            f"module-level (resolvable by dotted path in "
+                            f"a fresh process)")
+        # 3. module-scope runtime construction.
+        for stmt in _module_scope_statements(ctx.tree):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            for node in ast.walk(stmt):
+                if (isinstance(node, ast.Call)
+                        and _call_name(node) in _RUNTIME_CTORS):
+                    yield self.found(
+                        ctx, node,
+                        f"{_call_name(node)}() constructed at module "
+                        f"scope in a worker module — every worker runs "
+                        f"this at import and inherits shared live state; "
+                        f"construct runtimes per cell inside the worker "
+                        f"entry point")
+
+    @staticmethod
+    def _is_nested_def(tree: ast.Module, name: str) -> bool:
+        """Whether ``name`` is defined anywhere *below* module scope."""
+        top = {node.name for node in tree.body
+               if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+        return name not in top

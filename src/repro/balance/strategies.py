@@ -162,16 +162,25 @@ class RotateLB(Strategy):
 
 
 class RandomLB(Strategy):
-    """Uniform random placement with a fixed seed (reproducible)."""
+    """Uniform random placement with a fixed seed (reproducible).
+
+    The draw is derived from ``(seed, invocation index)``, not the seed
+    alone: re-seeding from scratch on every call would hand back the
+    identical placement at every rebalance after the first, so repeat
+    rebalances would migrate nothing.  A fresh strategy instance replays
+    the same sequence of placements, keeping whole runs reproducible.
+    """
 
     name = "RandomLB"
 
     def __init__(self, seed: int = 12345):
         self.seed = seed
+        self._invocation = 0
 
     def map_objects(self, loads: Loads, current: Placement,
                     npes: int) -> Placement:
-        rng = random.Random(self.seed)
+        rng = random.Random(f"{self.seed}:{self._invocation}")
+        self._invocation += 1
         return {obj: rng.randrange(npes)
                 for obj in sorted(loads, key=str)}
 

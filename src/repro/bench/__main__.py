@@ -4,15 +4,22 @@ Usage::
 
     python -m repro.bench                 # everything
     python -m repro.bench fig9 table2     # just some experiments
+    python -m repro.bench -j 4            # fan out over 4 workers
     REPRO_FULL=1 python -m repro.bench fig11   # paper-scale Figure 11
 
 Reports are printed and saved under ``results/``.  This is the same
 machinery the pytest-benchmark targets drive; the CLI exists so downstream
 users can regenerate the evaluation without the test harness.
+
+Experiments run as independent :mod:`repro.exec` cells: a raising
+experiment no longer aborts the rest of the run (and no longer leaves
+later result files silently stale) — every experiment runs, a pass/fail
+table sums up, and the exit code is nonzero if anything failed.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -116,16 +123,64 @@ EXPERIMENTS = {
 
 def main(argv: list[str]) -> int:
     """CLI entry point; returns a process exit code."""
-    wanted = argv or list(EXPERIMENTS)
+    from repro.exec import (Cell, ProgressReporter, SweepExecutor,
+                            SweepSpec, make_backend)
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate paper tables and figures.")
+    ap.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                    help=f"subset to run (default: all of "
+                         f"{', '.join(EXPERIMENTS)})")
+    ap.add_argument("-j", "--jobs", type=int, default=1,
+                    help="worker processes (default 1)")
+    args = ap.parse_args(argv)
+    wanted = args.experiments or list(EXPERIMENTS)
     unknown = [w for w in wanted if w not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}")
         print(f"known: {', '.join(EXPERIMENTS)}")
         return 2
+    if args.jobs < 1:
+        print(f"-j/--jobs must be >= 1 (got {args.jobs})")
+        return 2
+
     t0 = time.time()
-    for name in wanted:
-        EXPERIMENTS[name]()
-    print(f"\n{len(wanted)} experiment(s) in {time.time() - t0:.1f}s")
+    cells = [Cell(experiment=f"bench:{name}",
+                  runner="repro.exec.runners:run_bench_cell",
+                  params={"experiment": name})
+             for name in wanted]
+    executor = SweepExecutor(SweepSpec("bench", cells),
+                             backend=make_backend(args.jobs))
+    reporter = ProgressReporter(executor.hooks)
+    try:
+        results = {r.cell_id: r for r in executor.run()}
+    finally:
+        reporter.detach()
+
+    # Print reports in the order the user asked for them, not completion
+    # (or merge) order; failures print their traceback where the report
+    # would have been and the run keeps going.
+    table = []
+    failed = []
+    for cell in cells:
+        result = results[cell.cell_id]
+        name = cell.params["experiment"]
+        if result.ok:
+            sys.stdout.write(result.value["output"])
+            table.append([name, "ok", f"{result.duration_s:.2f}"])
+        else:
+            failed.append(name)
+            print(f"\nFAILED {name}:\n{result.error}", end="")
+            tail = result.error.strip().splitlines()[-1]
+            table.append([name, f"FAILED: {tail}", f"{result.duration_s:.2f}"])
+
+    print("\n" + render_table(["experiment", "status", "time (s)"], table,
+                              f"{len(wanted)} experiment(s) in "
+                              f"{time.time() - t0:.1f}s"))
+    if failed:
+        print(f"{len(failed)} experiment(s) failed: {', '.join(failed)}")
+        return 1
     return 0
 
 

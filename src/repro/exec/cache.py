@@ -1,0 +1,69 @@
+"""Disk-backed result cache: a cell whose key hash has a result is skipped.
+
+The cache keys on :meth:`Cell.cache_key` — a content hash of the runner
+path, canonical params, and seed — so a cache hit means "this exact
+computation already ran", independent of which process ran it or in what
+order.  Only ``ok`` results are stored: errors and crashes always re-run,
+mirroring the chaos retry discipline of never memoizing a failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro.exec.spec import Cell, CellResult
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """One directory of ``<cache-key>.json`` cell results."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, cell: Cell) -> str:
+        return os.path.join(self.root, cell.cache_key() + ".json")
+
+    def get(self, cell: Cell) -> Optional[CellResult]:
+        """The cached result for ``cell``, or ``None`` on a miss.
+
+        An unreadable/corrupt entry counts as a miss (the sweep re-runs
+        the cell and overwrites it) rather than poisoning the sweep.
+        """
+        path = self._path(cell)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if data.get("cell_id") != cell.cell_id or data.get("status") != "ok":
+            return None
+        result = CellResult.from_json(data)
+        result.cached = True
+        return result
+
+    def put(self, cell: Cell, result: CellResult) -> None:
+        """Store an ``ok`` result; failures are never cached."""
+        if not result.ok:
+            return
+        path = self._path(cell)
+        # Write-rename so a parallel reader never sees a torn entry.
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(result.to_json(), fh)
+            os.replace(tmp, path)
+        except OSError:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def stats(self) -> Dict[str, int]:
+        """Entry count, for the sweep summary line."""
+        entries = [n for n in os.listdir(self.root) if n.endswith(".json")]
+        return {"entries": len(entries)}

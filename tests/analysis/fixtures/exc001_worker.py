@@ -1,0 +1,40 @@
+"""EXC001 fixture: worker-purity breaks with clean counterparts.
+
+A module that imports multiprocessing is a worker module: cells it
+ships must stay plain data, targets must be module-level, and runtimes
+must be constructed per cell inside the entry point.
+"""
+
+import multiprocessing
+
+import pickle                                     # expect: EXC001
+from pickle import dumps                          # expect: EXC001
+import json                                       # clean: plain-data only
+
+from repro.chaos import ChaosRunner
+
+
+def run_cell(params, seed):
+    # Clean: the entry point rebuilds its runtime through a public
+    # constructor, from plain params.
+    runner = ChaosRunner(params["workload"])
+    return {"seed": seed, "blob": json.dumps(params)}
+
+
+WARM_RUNNER = ChaosRunner("stencil")              # expect: EXC001
+
+
+def launch(pool):
+    def closure_target(cell):
+        return cell
+
+    a = multiprocessing.Process(target=closure_target)    # expect: EXC001
+    b = multiprocessing.Process(target=lambda: 0)         # expect: EXC001
+    c = multiprocessing.Process(target=run_cell)          # clean target
+    d = pool.submit(run_cell, {})                         # clean target
+    return a, b, c, d
+
+
+# One consciously-suppressed case, as every fixture carries:
+# migralint: disable=EXC001
+SUPPRESSED_RUNNER = ChaosRunner("stencil")

@@ -65,7 +65,8 @@ def test_exit_2_on_bad_flag():
 def test_list_rules():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
-    for rid in ("MIG001", "MIG002", "MIG003", "MIG004", "MIG005"):
+    for rid in ("MIG001", "MIG002", "MIG003", "MIG004", "MIG005",
+                "KRN001", "EXC001"):
         assert rid in proc.stdout
 
 

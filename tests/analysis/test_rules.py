@@ -32,6 +32,7 @@ def expected_findings(path):
 
 
 FIXTURE_CASES = [
+    ("exc001_worker.py", "EXC001"),
     ("krn001_runloop.py", "KRN001"),
     ("mig001_pup.py", "MIG001"),
     ("mig002_globals.py", "MIG002"),
@@ -117,6 +118,6 @@ def test_clean_module_is_clean():
 
 def test_rule_metadata_is_complete():
     for rule in all_rules():
-        assert re.fullmatch(r"(MIG|KRN)\d{3}", rule.id)
+        assert re.fullmatch(r"(MIG|KRN|EXC)\d{3}", rule.id)
         assert rule.name and rule.summary
         assert rule.severity.value in ("error", "warning")

@@ -11,18 +11,16 @@ decision points moved, which silently invalidates every recorded
 chaos schedule and repro script in the wild.
 
 If a *deliberate* semantic change lands (a new faultable site, a
-different consultation order), re-capture with::
+different consultation order), re-capture through the parallel sweep
+executor with::
 
-    PYTHONPATH=src python - <<'EOF'
-    from repro.chaos import ChaosRunner, STANDARD_WORKLOADS
-    from tests.chaos.test_golden_seeds import CONFIG
-    for wl_cls in STANDARD_WORKLOADS:
-        wl = wl_cls()
-        for res in ChaosRunner(wl, CONFIG).sweep(range(5)):
-            print(wl.name, res.seed, res.fingerprint())
-    EOF
+    PYTHONPATH=src python -c \\
+        "from tests.chaos.test_golden_seeds import regenerate; regenerate()"
 
-and say so loudly in the commit message.
+and say so loudly in the commit message.  ``regenerate`` fans the
+workload x seed grid out over worker processes; the executor's merge
+orders fingerprints by cell id, so the captured table is identical
+however many workers ran it.
 """
 
 import pytest
@@ -69,6 +67,36 @@ GOLDEN = {
         4: "a06470fad66463c5b4de47c7a071288f54bdf63ac5c4dc035060d01df5c17125",
     },
 }
+
+
+def regenerate(jobs: int = 4) -> dict:
+    """Re-capture GOLDEN via :mod:`repro.exec`; prints and returns it.
+
+    Uses the parallel executor (``jobs`` workers) — byte-identical to a
+    serial sweep by the executor's merge contract, so the fingerprints
+    it prints are exactly what :func:`test_sweep_matches_golden_fingerprints`
+    will check.
+    """
+    from repro.exec import (Cell, SweepExecutor, SweepSpec,
+                            fault_config_params, make_backend)
+
+    rates = fault_config_params(CONFIG)
+    cells = [Cell(experiment=f"chaos:{wl.name}",
+                  runner="repro.exec.runners:run_chaos_cell",
+                  params={"workload": wl.name, "config": rates}, seed=s)
+             for wl in STANDARD_WORKLOADS for s in SEEDS]
+    results = SweepExecutor(SweepSpec("golden_seeds", cells),
+                            backend=make_backend(jobs)).run()
+    table: dict = {}
+    for res in results:
+        if not res.ok:
+            raise AssertionError(f"golden cell {res.cell_id} failed:\n"
+                                 f"{res.error}")
+        row = res.value
+        table.setdefault(row["workload"], {})[row["seed"]] = \
+            row["fingerprint"]
+        print(row["workload"], row["seed"], row["fingerprint"])
+    return table
 
 
 def test_golden_covers_every_standard_workload():

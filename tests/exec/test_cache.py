@@ -1,0 +1,69 @@
+"""ResultCache: hit, skip, force, and the never-cache-failures rule."""
+
+import json
+import os
+
+from repro.exec import (Cell, ResultCache, SerialBackend, SweepExecutor,
+                        SweepSpec)
+
+ECHO = "tests.exec.workers:echo"
+BOOM = "tests.exec.workers:boom"
+
+
+def spec(runner=ECHO, n=3, **params):
+    return SweepSpec("cache-test", [
+        Cell(experiment="t:cache", runner=runner, params=params, seed=s)
+        for s in range(n)])
+
+
+def run(spec_, cache, force=False):
+    return SweepExecutor(spec_, backend=SerialBackend(), cache=cache,
+                         force=force).run()
+
+
+def test_second_run_is_served_from_cache(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    first = run(spec(), cache)
+    assert [r.cached for r in first] == [False] * 3
+    second = run(spec(), cache)
+    assert [r.cached for r in second] == [True] * 3
+    assert [r.value for r in second] == [r.value for r in first]
+    assert cache.stats()["entries"] == 3
+
+
+def test_changed_params_miss_the_cache(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    run(spec(knob=1), cache)
+    again = run(spec(knob=2), cache)
+    assert [r.cached for r in again] == [False] * 3
+    assert cache.stats()["entries"] == 6
+
+
+def test_force_recomputes_and_refreshes(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    run(spec(), cache)
+    forced = run(spec(), cache, force=True)
+    assert [r.cached for r in forced] == [False] * 3
+    assert cache.stats()["entries"] == 3
+
+
+def test_failures_are_never_cached(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    first = run(spec(runner=BOOM), cache)
+    assert all(r.status == "error" for r in first)
+    assert cache.stats()["entries"] == 0
+    second = run(spec(runner=BOOM), cache)
+    assert [r.cached for r in second] == [False] * 3
+
+
+def test_corrupt_entry_counts_as_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    run(spec(n=1), cache)
+    (entry,) = [n for n in os.listdir(tmp_path) if n.endswith(".json")]
+    with open(tmp_path / entry, "w") as fh:
+        fh.write("{not json")
+    again = run(spec(n=1), cache)
+    assert [r.cached for r in again] == [False]
+    # ... and the re-run heals the entry.
+    with open(tmp_path / entry) as fh:
+        assert json.load(fh)["status"] == "ok"

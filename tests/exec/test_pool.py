@@ -1,0 +1,80 @@
+"""LocalPool crash containment and serial/parallel equivalence."""
+
+from repro.exec import (Cell, LocalPool, SerialBackend, SweepExecutor,
+                        SweepSpec)
+from repro.kernel import HookBus
+
+
+def run(cells, backend, hooks=None):
+    return SweepExecutor(SweepSpec("pool-test", cells),
+                         backend=backend, hooks=hooks).run()
+
+
+def test_parallel_matches_serial_on_plain_cells():
+    cells = [Cell(experiment="t:echo", runner="tests.exec.workers:echo",
+                  params={"k": "v"}, seed=s) for s in range(8)]
+    serial = run(cells, SerialBackend())
+    parallel = run(cells, LocalPool(jobs=3))
+    assert [(r.cell_id, r.status, r.value) for r in serial] == \
+        [(r.cell_id, r.status, r.value) for r in parallel]
+
+
+def test_worker_crash_is_retried_once_on_a_fresh_worker(tmp_path):
+    marker = str(tmp_path / "died-once")
+    cells = [Cell(experiment="t:crash", runner="tests.exec.workers:crash_once",
+                  params={"marker": marker}, seed=0),
+             Cell(experiment="t:echo", runner="tests.exec.workers:echo",
+                  seed=1)]
+    hooks = HookBus()
+    crashes = []
+    hooks.subscribe("exec.cell.crash",
+                    lambda payload, **ctx: crashes.append(payload) or payload)
+    crash, echo = run(cells, LocalPool(jobs=2), hooks=hooks)
+    assert (crash.status, crash.attempts) == ("ok", 2)
+    assert crash.value == {"survived": True, "seed": 0}
+    assert (echo.status, echo.attempts) == ("ok", 1)
+    assert [c["will_retry"] for c in crashes] == [True]
+    assert crashes[0]["exitcode"] == 17
+
+
+def test_second_crash_marks_the_cell_error():
+    cells = [Cell(experiment="t:crash",
+                  runner="tests.exec.workers:always_crash", seed=0),
+             Cell(experiment="t:echo", runner="tests.exec.workers:echo",
+                  seed=1)]
+    dead, echo = run(cells, LocalPool(jobs=2))
+    assert (dead.status, dead.attempts) == ("error", 2)
+    assert "died twice" in dead.error and "exit code 17" in dead.error
+    # The crash never took the rest of the sweep down with it.
+    assert echo.status == "ok"
+
+
+def test_python_exceptions_are_contained_not_retried():
+    cells = [Cell(experiment="t:boom", runner="tests.exec.workers:boom",
+                  seed=3)]
+    for backend in (SerialBackend(), LocalPool(jobs=2)):
+        (res,) = run(cells, backend)
+        assert (res.status, res.attempts) == ("error", 1)
+        assert "ValueError: deterministic failure for seed 3" in res.error
+
+
+def test_progress_events_fire_in_hookbus_convention():
+    cells = [Cell(experiment="t:echo", runner="tests.exec.workers:echo",
+                  seed=s) for s in range(3)]
+    hooks = HookBus()
+    seen = []
+
+    def record(channel):
+        def fn(payload, **ctx):
+            seen.append((channel, payload.get("cell_id")))
+            return payload
+        return hooks.subscribe(channel, fn)
+
+    for channel in ("exec.sweep.begin", "exec.cell.start",
+                    "exec.cell.done", "exec.sweep.end"):
+        record(channel)
+    run(cells, SerialBackend(), hooks=hooks)
+    kinds = [k for k, _ in seen]
+    assert kinds[0] == "exec.sweep.begin" and kinds[-1] == "exec.sweep.end"
+    assert kinds.count("exec.cell.start") == 3
+    assert kinds.count("exec.cell.done") == 3

@@ -1,0 +1,65 @@
+"""Cell identity and sweep-spec validation."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.exec import Cell, CellResult, SweepSpec, resolve_runner
+
+RUNNER = "tests.exec.workers:echo"
+
+
+def cell(seed=0, experiment="t:echo", **params):
+    return Cell(experiment=experiment, runner=RUNNER, params=params,
+                seed=seed)
+
+
+def test_cell_id_is_stable_and_param_sensitive():
+    a = cell(seed=3, knob=1)
+    assert a.cell_id == cell(seed=3, knob=1).cell_id
+    assert a.cell_id != cell(seed=4, knob=1).cell_id          # seed differs
+    assert a.config_hash != cell(seed=3, knob=2).config_hash  # params differ
+    # Param *order* must not matter: hashing is canonical.
+    x = Cell(experiment="t", runner=RUNNER, params={"a": 1, "b": 2}, seed=0)
+    y = Cell(experiment="t", runner=RUNNER, params={"b": 2, "a": 1}, seed=0)
+    assert x.cell_id == y.cell_id
+
+
+def test_cell_id_names_experiment_confighash_seed():
+    c = cell(seed=7)
+    exp, config_hash, seed = c.cell_id.split("/")
+    assert (exp, config_hash, seed) == ("t:echo", c.config_hash, "7")
+    assert Cell(experiment="t", runner=RUNNER).cell_id.endswith("/-")
+
+
+def test_params_must_be_plain_data():
+    with pytest.raises(ReproError, match="JSON-able"):
+        Cell(experiment="t", runner=RUNNER,
+             params={"obj": object()}).cell_id
+
+
+def test_spec_rejects_empty_and_duplicate_cells():
+    with pytest.raises(ReproError, match="no cells"):
+        SweepSpec("empty", [])
+    with pytest.raises(ReproError, match="duplicate cell id"):
+        SweepSpec("dup", [cell(seed=1), cell(seed=1)])
+
+
+def test_merged_order_sorts_seeds_numerically():
+    spec = SweepSpec("order", [cell(seed=s) for s in (10, 2, 9, 1)])
+    assert [c.seed for c in spec.merged_order()] == [1, 2, 9, 10]
+
+
+def test_resolve_runner_validates_paths():
+    assert resolve_runner(RUNNER)({}, 2)["double"] == 4
+    with pytest.raises(ReproError, match="package.module:function"):
+        resolve_runner("tests.exec.workers.echo")
+    with pytest.raises(ReproError, match="does not name a callable"):
+        resolve_runner("tests.exec.workers:nope")
+
+
+def test_cell_result_json_roundtrip():
+    r = CellResult(cell_id="t/abc/1", status="ok", value={"x": 1},
+                   attempts=2, duration_s=0.5)
+    back = CellResult.from_json(r.to_json())
+    assert (back.cell_id, back.status, back.value, back.attempts) == \
+        ("t/abc/1", "ok", {"x": 1}, 2)

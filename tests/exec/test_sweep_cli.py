@@ -1,0 +1,75 @@
+"""tools/chaos_sweep.py CLI: empty-sweep refusal and executor parity.
+
+The empty-sweep cases are the regression tests for the pre-executor bug
+where ``-n 0`` ran nothing, wrote an empty results file, and exited 0 as
+if the sweep had passed.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+TOOLS = os.path.join(os.path.dirname(__file__), "..", "..", "tools")
+
+
+@pytest.fixture(scope="module")
+def sweep_cli():
+    spec = importlib.util.spec_from_file_location(
+        "chaos_sweep_cli", os.path.join(TOOLS, "chaos_sweep.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_empty_sweep_is_refused_with_exit_2(sweep_cli, tmp_path, capsys):
+    out = str(tmp_path / "r.json")
+    assert sweep_cli.main(["-n", "0", "-o", out]) == 2
+    assert "refusing an empty sweep" in capsys.readouterr().err
+    assert not os.path.exists(out)      # no empty results file is written
+
+
+def test_negative_seed_count_is_refused(sweep_cli, tmp_path):
+    assert sweep_cli.main(["-n", "-5",
+                           "-o", str(tmp_path / "r.json")]) == 2
+
+
+def test_bad_jobs_value_is_refused(sweep_cli, tmp_path):
+    assert sweep_cli.main(["-j", "0",
+                           "-o", str(tmp_path / "r.json")]) == 2
+
+
+def test_small_sweep_reports_cell_count(sweep_cli, tmp_path, capsys):
+    out = str(tmp_path / "r.json")
+    code = sweep_cli.main(["-w", "stencil", "-n", "3", "-o", out])
+    stdout = capsys.readouterr().out
+    assert code == 0
+    assert "3 cells" in stdout and "1 workload(s) x 3 seed(s)" in stdout
+    with open(out) as fh:
+        payload = json.load(fh)
+    assert len(payload["results"]) == 3
+    assert [row["seed"] for row in payload["results"]] == [0, 1, 2]
+
+
+def test_parallel_cli_output_is_byte_identical(sweep_cli, tmp_path):
+    a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+    args = ["-w", "stencil", "-n", "4"]
+    assert sweep_cli.main(args + ["-o", a]) == 0
+    assert sweep_cli.main(args + ["-j", "2", "-o", b]) == 0
+    with open(a, "rb") as fa, open(b, "rb") as fb:
+        assert fa.read() == fb.read()
+
+
+def test_cache_skips_computed_cells(sweep_cli, tmp_path, capsys):
+    out = str(tmp_path / "r.json")
+    cache = str(tmp_path / "cache")
+    args = ["-w", "stencil", "-n", "3", "--cache", cache, "-o", out]
+    assert sweep_cli.main(args) == 0
+    with open(out, "rb") as fh:
+        first = fh.read()
+    capsys.readouterr()
+    assert sweep_cli.main(args) == 0          # second run: all cache hits
+    with open(out, "rb") as fh:
+        assert fh.read() == first
+    assert len(os.listdir(cache)) == 3

@@ -99,6 +99,33 @@ def test_chaos_sweep_bit_identical():
         assert sweep(workload_cls) == sweep(workload_cls)
 
 
+def test_parallel_sweep_bit_identical():
+    """The parallel sweep executor inherits full determinism: fanning the
+    same cells out over worker processes — twice — merges to exactly the
+    serial reference, byte for byte."""
+    from repro.exec import (Cell, LocalPool, SerialBackend, SweepExecutor,
+                            SweepSpec, fault_config_params)
+
+    rates = fault_config_params(
+        FaultConfig(drop_rate=0.02, delay_rate=0.1, reorder_rate=0.05,
+                    migrate_abort_rate=0.1, migrate_bounce_rate=0.05,
+                    ckpt_error_rate=0.03, ckpt_corrupt_rate=0.03,
+                    crash_rate=0.15, evac_rate=0.1))
+
+    def sweep(backend):
+        spec = SweepSpec("determinism", [
+            Cell(experiment="chaos:stencil",
+                 runner="repro.exec.runners:run_chaos_cell",
+                 params={"workload": "stencil", "config": rates}, seed=s)
+            for s in range(3)])
+        return [(r.cell_id, r.status, r.value)
+                for r in SweepExecutor(spec, backend=backend).run()]
+
+    reference = sweep(SerialBackend())
+    assert sweep(LocalPool(jobs=2)) == reference
+    assert sweep(LocalPool(jobs=2)) == reference
+
+
 def test_table_and_figure_builders_bit_identical():
     from repro.bench.figures import context_switch_series, stack_size_series
     from repro.bench.tables import table1_rows

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Benchmark the parallel sweep executor — and prove its determinism.
+
+Runs the default chaos grid (3 workloads x 20 seeds) through
+``tools/chaos_sweep.py`` at ``--jobs 1`` (serial reference) and
+``--jobs 4`` (process pool), interleaved best-of-N so machine drift
+lands on both contenders, asserts the two output files are
+**byte-identical**, and writes the honest wall-clock numbers to
+``results/exec_bench.json``::
+
+    PYTHONPATH=src python tools/bench_exec.py
+
+Speedup tracks the host's core count; on a single-core container the
+two modes time alike and the byte-identity assertion is the portable
+result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+SWEEP = os.path.join(ROOT, "tools", "chaos_sweep.py")
+OUT = os.path.join(ROOT, "results", "exec_bench.json")
+
+REPEATS = 3
+JOBS = (1, 4)
+
+
+def run_sweep(jobs: int, output: str) -> float:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, SWEEP, "--jobs", str(jobs), "-o", output],
+        capture_output=True, text=True, cwd=ROOT, env=env)
+    elapsed = time.perf_counter() - start
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"chaos_sweep --jobs {jobs} failed ({proc.returncode}):\n"
+            f"{proc.stdout}{proc.stderr}")
+    return elapsed
+
+
+def main() -> int:
+    best = {jobs: float("inf") for jobs in JOBS}
+    outputs = {}
+    with tempfile.TemporaryDirectory(prefix="bench-exec-") as tmp:
+        for rep in range(REPEATS):
+            # Interleave contenders so drift hits both equally.
+            for jobs in JOBS:
+                path = os.path.join(tmp, f"sweep-j{jobs}-r{rep}.json")
+                best[jobs] = min(best[jobs], run_sweep(jobs, path))
+                outputs[jobs] = path
+                print(f"  rep {rep + 1}/{REPEATS} --jobs {jobs}: "
+                      f"best {best[jobs]:.3f}s", file=sys.stderr)
+        blobs = {jobs: open(outputs[jobs], "rb").read() for jobs in JOBS}
+
+    identical = len(set(blobs.values())) == 1
+    if not identical:
+        print("FAIL: --jobs 1 and --jobs 4 outputs differ", file=sys.stderr)
+        return 1
+
+    cells = len(json.loads(blobs[JOBS[0]])["results"])
+    serial, pooled = best[JOBS[0]], best[JOBS[1]]
+    doc = {
+        "benchmark": "tools/bench_exec.py",
+        "grid": f"default chaos sweep ({cells} cells: 3 workloads x 20 seeds)",
+        "repeats": REPEATS,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "byte_identical": True,
+        "wall_s": {f"jobs_{jobs}": round(best[jobs], 3) for jobs in JOBS},
+        "speedup_jobs4_over_jobs1": round(serial / pooled, 2),
+        "note": ("speedup tracks the host core count; byte-identity of the "
+                 "merged output is the portable result"),
+    }
+    os.makedirs(os.path.dirname(OUT), exist_ok=True)
+    with open(OUT, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"byte-identical across --jobs {JOBS}; "
+          f"serial {serial:.3f}s, pooled {pooled:.3f}s "
+          f"(x{serial / pooled:.2f} on {os.cpu_count()} core(s))")
+    print(f"wrote {os.path.relpath(OUT, ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
