@@ -134,7 +134,10 @@ class Rule:
         raise NotImplementedError
 
 
-#: Global registry, id -> rule class.  Populated by :func:`register`.
+#: Global registry, id -> rule class.  Populated by :func:`register` at
+#: import time only (duplicate ids are rejected) and holding classes,
+#: not per-run state — safe as a module global; runtime packages where
+#: such globals can poison replay are policed by OBS001.
 _RULES: Dict[str, Type[Rule]] = {}
 
 

@@ -4,7 +4,8 @@ Each module defines one rule, grounded in a specific mechanism of the
 paper: PUP traversal (MIG001), swap-global privatization (MIG002), the
 migration state contract (MIG003), SDAG coordination discipline (MIG004),
 isomalloc address validity (MIG005), the single-event-kernel discipline
-(KRN001), and the sweep-worker purity contract (EXC001).
+(KRN001), the sweep-worker purity contract (EXC001), and the
+no-module-global-runtime-state discipline (OBS001).
 """
 
 from repro.analysis.rules import (  # noqa: F401
@@ -15,4 +16,5 @@ from repro.analysis.rules import (  # noqa: F401
     mig003_state,
     mig004_sdag,
     mig005_isomalloc,
+    obs001_module_state,
 )

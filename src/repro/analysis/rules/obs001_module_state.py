@@ -1,0 +1,146 @@
+"""OBS001 module-state: no module-global mutable runtime state.
+
+Two of this repo's replay-determinism bugs had the same root cause: a
+module-level mutable binding (a counter, a registry) mutated from inside
+function bodies.  Module globals live for the whole host *process*, so
+the second run in one process starts from where the first one left off —
+message ids kept counting, and byte-identical replays stopped being
+byte-identical.  Per-run state belongs on per-run objects (the cluster,
+the runtime, the registry passed in), where a fresh construction means a
+fresh start.
+
+The rule is scoped to the runtime packages whose state must reset per
+run — ``repro/sim``, ``repro/core``, ``repro/kernel``, ``repro/obs`` —
+and flags any module-scope binding of a mutable container (literal or
+``dict()``/``list()``/``set()``/``defaultdict()``-style constructor) or
+numeric constant that function bodies then mutate, via ``global``,
+a mutator method (``.append``/``.update``/``.setdefault``/...), or
+subscript assignment.  The finding anchors at the *binding*, so a
+write-once registry with a real justification carries its suppression
+comment right where the state is declared.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from repro.analysis.core import (Finding, ModuleContext, Rule, Severity,
+                                 register)
+
+__all__ = ["ModuleState"]
+
+#: Constructor calls that produce a mutable container.
+_MUTABLE_CTORS = {"dict", "list", "set", "bytearray", "defaultdict",
+                  "OrderedDict", "deque", "Counter"}
+
+#: Method calls that mutate a container in place.
+_MUTATORS = {"append", "appendleft", "add", "update", "setdefault", "pop",
+             "popitem", "popleft", "clear", "extend", "insert", "remove",
+             "discard", "sort", "reverse"}
+
+_SCOPES = ("repro/sim/", "repro/core/", "repro/kernel/", "repro/obs/")
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        fn = node.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else "")
+        return name in _MUTABLE_CTORS
+    return False
+
+
+def _is_scalar_value(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool))
+
+
+def _function_bodies(tree: ast.Module) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            yield node
+
+
+@register
+class ModuleState(Rule):
+    """Module-scope mutable bindings mutated from function bodies."""
+
+    id = "OBS001"
+    name = "module-state"
+    severity = Severity.ERROR
+    summary = ("runtime packages must not keep mutable state at module "
+               "scope — a process-lifetime global mutated by function "
+               "bodies carries one run's state into the next and breaks "
+               "cross-run replay determinism; put it on a per-run object")
+
+    def _in_scope(self, ctx: ModuleContext) -> bool:
+        path = ctx.path.replace("\\", "/")
+        return any(scope in path for scope in _SCOPES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self._in_scope(ctx):
+            return
+        # Module-scope bindings of mutable containers / numeric scalars.
+        containers: Dict[str, ast.stmt] = {}
+        scalars: Dict[str, ast.stmt] = {}
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                value = stmt.value
+                if value is None:
+                    continue
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if target.id.startswith("__"):
+                        continue  # __all__ and friends are interface, not state
+                    if _is_mutable_value(value):
+                        containers[target.id] = stmt
+                    elif _is_scalar_value(value):
+                        scalars[target.id] = stmt
+        if not containers and not scalars:
+            return
+        # Evidence of mutation from inside any function body.
+        rebound: Set[str] = set()       # `global NAME` + assignment
+        mutated: Set[str] = set()       # in-place container mutation
+        for fn in _function_bodies(ctx.tree):
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Global):
+                    rebound.update(node.names)
+                elif (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _MUTATORS
+                        and isinstance(node.func.value, ast.Name)):
+                    mutated.add(node.func.value.id)
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (node.targets if isinstance(node, ast.Assign)
+                               else [node.target])
+                    for target in targets:
+                        if (isinstance(target, ast.Subscript)
+                                and isinstance(target.value, ast.Name)):
+                            mutated.add(target.value.id)
+        for name, stmt in sorted(containers.items()):
+            if name in mutated or name in rebound:
+                yield self.found(
+                    ctx, stmt,
+                    f"module-global {name!r} is mutable and mutated from "
+                    f"function bodies — its contents outlive any single "
+                    f"run and leak one run's state into the next; move it "
+                    f"onto a per-run object, or justify (write-once at "
+                    f"import time?) and suppress here")
+        for name, stmt in sorted(scalars.items()):
+            if name in rebound:
+                yield self.found(
+                    ctx, stmt,
+                    f"module-global counter {name!r} is rebound via "
+                    f"'global' from function bodies — it keeps counting "
+                    f"across runs in one process, so identical runs "
+                    f"diverge (the msg_id replay bug); move it onto a "
+                    f"per-run object")

@@ -26,6 +26,28 @@ class LBDatabase:
         #: 75% background load has speed 0.25).
         self._speed: List[float] = [1.0] * npes
         self.epoch = 0
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when set,
+        #: every measurement window publishes its closing imbalance.
+        self._metrics = None
+
+    def attach_metrics(self, registry) -> None:
+        """Publish per-window balance readings into ``registry``.
+
+        At each :meth:`reset_loads` (i.e. each rebalance) the closing
+        window's max/avg imbalance is observed into the
+        ``lb.imbalance`` histogram, and ``lb.epoch`` / ``lb.windows``
+        track progress.  Pass ``None`` to detach.
+        """
+        if registry is None:
+            self._metrics = None
+            return
+        from repro.obs.metrics import RATIO_BUCKETS
+        self._metrics = {
+            "imbalance": registry.histogram("lb.imbalance", RATIO_BUCKETS),
+            "windows": registry.counter("lb.windows"),
+            "epoch": registry.gauge("lb.epoch"),
+        }
+        self._metrics["epoch"].set(self.epoch)
 
     def register(self, obj: Hashable, pe: int) -> None:
         """Start tracking an object at its initial processor."""
@@ -113,7 +135,12 @@ class LBDatabase:
 
     def reset_loads(self) -> None:
         """Open a new measurement window (after a rebalance)."""
+        if self._metrics is not None:
+            self._metrics["imbalance"].observe(self.imbalance())
+            self._metrics["windows"].inc()
         for obj in self._load:
             self._load[obj] = 0.0
         self._comm.clear()
         self.epoch += 1
+        if self._metrics is not None:
+            self._metrics["epoch"].set(self.epoch)

@@ -163,18 +163,28 @@ def _evacuate_processor(rt, victim: int, survivors: List[int]) -> None:
 # ---------------------------------------------------------------------------
 
 def drive_ampi_chaos(workload, schedule: FaultSchedule,
-                     seed: Optional[int] = None) -> ChaosResult:
+                     seed: Optional[int] = None,
+                     observe=None) -> ChaosResult:
     """Run one chaos workload under one fault schedule and classify it.
 
     ``workload`` is any object with ``name`` and
     ``build() -> (runtime, check_fn)`` (see
     :mod:`repro.chaos.workloads`); ``check_fn(rt)`` judges the final
     answer.
+
+    ``observe``, if given, is called ``observe(rt, ctx)`` after the
+    faults are wired but before the run starts — the attachment point
+    for a :class:`~repro.obs.collect.RunObserver` (subscribe, set
+    ``ctx.metrics``, ...).  Observation must be pure: the chaos
+    channels' values pass through observers unchanged, so fingerprints
+    are identical with or without one (pinned by the golden tests).
     """
     rt, check = workload.build()
     rt.cluster.enable_tracing()
     injector = FaultInjector(schedule)
     ctx = wire_ampi_faults(rt, injector)
+    if observe is not None:
+        observe(rt, ctx)
     outcome, detail = "pass", ""
     try:
         rt.run()
@@ -205,8 +215,9 @@ def _hash_trace(rt) -> str:
     """SHA-256 of the full message trace.
 
     Trace tuples are (send_time, src, dst, tag, size): everything that
-    identifies a message *except* its global ``msg_id``, which counts
-    across runs in one process and would break replay comparison.
+    identifies a message except its ``msg_id``, which is redundant with
+    send order (and was once a process-global counter that broke
+    replay comparison across runs — see ``Cluster._next_msg_id``).
     """
     h = hashlib.sha256()
     for entry in (rt.cluster.message_trace or []):

@@ -237,6 +237,17 @@ class FaultInjector:
         """Total faults applied so far."""
         return len(self.schedule.injected)
 
+    def export_metrics(self, registry) -> None:
+        """Copy the fault ledger into a metrics registry as ``chaos.*``.
+
+        One-shot, at end of run: each injector counter becomes a
+        ``chaos.<name>`` counter (zero entries included, so snapshots
+        have a stable shape), plus ``chaos.faults_injected``.
+        """
+        for name, value in self.counters.items():
+            registry.counter(f"chaos.{name}").inc(value)
+        registry.counter("chaos.faults_injected").inc(self.faults_injected)
+
     def summary(self) -> str:
         """One line of non-zero fault counters."""
         hits = [f"{k}={v}" for k, v in sorted(self.counters.items()) if v]

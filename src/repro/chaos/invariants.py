@@ -37,9 +37,16 @@ class ChaosContext:
     #: Per-processor high-water clock from the previous check (the
     #: monotonicity invariant's memory).
     last_clocks: Dict[int, float] = field(default_factory=dict)
+    #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when set,
+    #: :func:`check_invariants` counts its passes and failures there.
+    metrics: Optional[object] = None
 
 
 #: Registry of invariant checkers: name -> fn(ctx, point) -> error or None.
+#: Written only by the :func:`invariant` decorator at import time
+#: (duplicates rejected); every checker keeps its run state on the
+#: :class:`ChaosContext`, never here — the module-global-state hazard
+#: OBS001 polices in the runtime packages.
 INVARIANTS: Dict[str, Callable[[ChaosContext, str], Optional[str]]] = {}
 
 
@@ -71,6 +78,9 @@ def check_invariants(ctx: ChaosContext, point: str = "inject") -> None:
         msg = fn(ctx, point)
         if msg is not None:
             failures.append(f"[{name}] {msg}")
+    if ctx.metrics is not None:
+        ctx.metrics.counter("chaos.invariant_checks").inc(len(INVARIANTS))
+        ctx.metrics.counter("chaos.invariant_failures").inc(len(failures))
     if failures:
         raise InvariantViolation(
             f"invariant violation at {point}: " + "; ".join(failures))

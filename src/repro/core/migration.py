@@ -80,6 +80,12 @@ class ThreadMigrator:
         #: In-flight images the destination refused; the image bounced
         #: back and the thread was rebuilt on its source processor.
         self.migrations_bounced = 0
+        #: Bounced images rebuilt at home.  A returned thread did *not*
+        #: migrate — it is back where it started — so these rebuilds are
+        #: counted here and never in :attr:`migrations_completed` (nor on
+        #: ``thread.migrations``).  At quiescence this equals
+        #: :attr:`migrations_bounced`.
+        self.migrations_returned = 0
         self.bytes_shipped = 0
         for proc in cluster.processors:
             TagDispatcher.of(proc).register(_TAG, self._on_message)
@@ -182,8 +188,25 @@ class ThreadMigrator:
             # optimistically queued it, so take it back out.
             dst_sched.ready.remove(thread)
             thread.state = ThreadState.SUSPENDED
-        thread.migrations += 1
-        self.migrations_completed += 1
+        returned = bool(image.stats.get("bounced"))
+        if returned:
+            # A bounce-home rebuild is not a completed migration: the
+            # thread is back on its source processor, having moved
+            # nowhere.  Counting it as completed (and bumping
+            # thread.migrations) once fed phantom successful moves into
+            # the LB statistics.
+            self.migrations_returned += 1
+        else:
+            thread.migrations += 1
+            self.migrations_completed += 1
+        hooks = self.cluster.queue.hooks
+        if hooks.has("migration.done"):
+            # Observability channel (filter-style, payload passes
+            # through): one event per rebuild, completed or returned.
+            hooks.filter("migration.done", {
+                "name": image.name, "src": msg.src, "dst": msg.dst,
+                "t": msg.send_time, "bytes": image.wire_bytes,
+                "returned": returned})
         if self.on_arrival is not None:
             self.on_arrival(thread)
 

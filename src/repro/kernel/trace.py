@@ -93,6 +93,18 @@ class KernelTracer:
             site = getattr(ev.fn, "__qualname__", None)
             if site:
                 entry["site"] = site
+            if ev.category and ev.category.startswith("net."):
+                # Message deliveries carry the Message as their first
+                # argument; surface its identity so trace consumers (the
+                # repro.obs report) can build size/latency histograms and
+                # migration tables without the live objects.
+                msg = ev.args[0] if ev.args else None
+                src = getattr(msg, "src", None)
+                if src is not None:
+                    entry["src"] = src
+                    entry["dst"] = msg.dst
+                    entry["bytes"] = msg.size_bytes
+                    entry["sent"] = msg.send_time
         self.entries.append(entry)
         return entry
 

@@ -1,0 +1,140 @@
+"""Bench workers for the perf-regression gate (``tools/bench_all.py``).
+
+Each entry point follows the ``(params, seed) -> JSON-able dict`` worker
+purity discipline from :mod:`repro.exec.runners`: it builds its world
+through public constructors inside the call and returns plain numbers,
+so the gate can run cells through any :class:`SweepExecutor` backend.
+
+Every worker times a best-of-``repeats`` inner loop with
+``time.perf_counter`` and reports **ns per operation** — the same
+methodology as ``tools/bench_kernel.py`` — plus enough simulated-side
+counters (events, moves, cells) for the gate to sanity-check that each
+run did the same amount of work as the baseline it is compared against.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["run_kernel_bench", "run_cancel_bench", "run_migration_bench",
+           "run_exec_bench", "run_noop_cell"]
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Best wall-clock seconds over ``repeats`` calls of ``fn``."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_kernel_bench(params: Dict[str, Any],
+                     seed: Optional[int]) -> Dict[str, Any]:
+    """Hooks-off dispatch throughput: ``{"events": n, "repeats": k}``."""
+    from repro.kernel import EventKernel
+
+    n = int(params.get("events", 20_000))
+    repeats = int(params.get("repeats", 3))
+
+    def one_round():
+        kernel = EventKernel(name="bench")
+        nop = lambda: None  # noqa: E731 - minimal dispatch target
+        for i in range(n):
+            kernel.schedule(float(i), nop)
+        kernel.run()
+
+    best = _best_of(repeats, one_round)
+    return {"events": n, "ns_per_event": best * 1e9 / n}
+
+
+def run_cancel_bench(params: Dict[str, Any],
+                     seed: Optional[int]) -> Dict[str, Any]:
+    """Schedule-then-cancel half the events: timer-heavy workloads."""
+    from repro.kernel import EventKernel
+
+    n = int(params.get("events", 20_000))
+    repeats = int(params.get("repeats", 3))
+
+    def one_round():
+        kernel = EventKernel(name="bench-cancel")
+        nop = lambda: None  # noqa: E731
+        evs = [kernel.schedule(float(i), nop) for i in range(n)]
+        for ev in evs[::2]:
+            ev.cancel()
+        kernel.run()
+
+    best = _best_of(repeats, one_round)
+    return {"events": n, "ns_per_event": best * 1e9 / n}
+
+
+def run_migration_bench(params: Dict[str, Any],
+                        seed: Optional[int]) -> Dict[str, Any]:
+    """A small AMPI run that actually migrates ranks.
+
+    ``{"ranks": r, "pes": p, "iterations": it, "repeats": k}`` — each
+    rank does a ring exchange per iteration and hits an ``MPI_Migrate``
+    barrier, so the timed path covers pack/ship/rebuild and the LB
+    database, not just the kernels.
+    """
+    ranks = int(params.get("ranks", 8))
+    pes = int(params.get("pes", 2))
+    iterations = int(params.get("iterations", 2))
+    repeats = int(params.get("repeats", 2))
+    result: Dict[str, Any] = {}
+
+    def one_round():
+        from repro.ampi import AmpiRuntime
+
+        def main(mpi):
+            right = (mpi.rank + 1) % mpi.size
+            left = (mpi.rank - 1) % mpi.size
+            for _ in range(iterations):
+                mpi.charge(50_000.0 * (1 + mpi.rank % 3))
+                mpi.send(right, mpi.rank, tag="ring", size_bytes=1024)
+                yield from mpi.recv(left, tag="ring")
+                yield from mpi.migrate()
+
+        rt = AmpiRuntime(pes, ranks, main)
+        rt.run()
+        result["migrations"] = rt.migrator.migrations_completed
+        result["makespan_ns"] = rt.makespan_ns
+
+    best = _best_of(repeats, one_round)
+    moves = max(1, result.get("migrations", 0))
+    result.update({"ranks": ranks, "pes": pes, "iterations": iterations,
+                   "wall_ms": best * 1e3,
+                   "ns_per_migration": best * 1e9 / moves})
+    return result
+
+
+def run_noop_cell(params: Dict[str, Any],
+                  seed: Optional[int]) -> Dict[str, Any]:
+    """The cheapest possible worker: isolates executor overhead."""
+    return {"ok": True, "seed": seed, "i": params.get("i", 0)}
+
+
+def run_exec_bench(params: Dict[str, Any],
+                   seed: Optional[int]) -> Dict[str, Any]:
+    """Per-cell overhead of the sweep executor itself.
+
+    Runs ``{"cells": n}`` no-op cells through a serial, cache-less
+    :class:`SweepExecutor`; the reported per-cell cost is pure harness
+    (spec hashing, result plumbing, progress hooks).
+    """
+    from repro.exec import Cell, SweepExecutor, SweepSpec
+
+    n = int(params.get("cells", 64))
+    repeats = int(params.get("repeats", 3))
+
+    def one_round():
+        cells = [Cell(experiment="noop",
+                      runner="repro.obs.benches:run_noop_cell",
+                      params={"i": i}, seed=i) for i in range(n)]
+        spec = SweepSpec(name="bench-exec", cells=cells)
+        SweepExecutor(spec).run()
+
+    best = _best_of(repeats, one_round)
+    return {"cells": n, "ns_per_cell": best * 1e9 / n}

@@ -1,0 +1,93 @@
+"""Host-side phase profiling: where does the *emulator* spend its time?
+
+The simulation charges virtual nanoseconds with perfect determinism; the
+host process running it does not.  :class:`PhaseProfiler` measures the
+skew — wall-clock and CPU seconds per named phase of a run, optionally
+against the virtual time the cluster advanced during that phase — so a
+slow experiment can be diagnosed (is the stencil compute expensive, or
+is the checkpoint layer doing too much Python?).
+
+Host timings are inherently nondeterministic, so they stay **out of**
+the :class:`~repro.obs.metrics.MetricsRegistry` and out of every golden
+fingerprint; this module is a diagnostic sidecar, never an input to a
+deterministic report.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+__all__ = ["PhaseProfiler"]
+
+
+class PhaseProfiler:
+    """Accumulates wall/CPU host time per named phase.
+
+    Usage::
+
+        prof = PhaseProfiler(cluster)
+        with prof.phase("setup"):
+            build_everything()
+        with prof.phase("run"):
+            cluster.run()
+        print(prof.report())
+
+    Phases may repeat (times accumulate) and nest (each phase bills its
+    own span, including children — like a flat ``perf`` view, not a
+    call tree).
+    """
+
+    def __init__(self, cluster=None):
+        self.cluster = cluster
+        self.phases: Dict[str, Dict[str, float]] = {}
+        self._order: List[str] = []
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager billing its body's host time to ``name``."""
+        row = self.phases.get(name)
+        if row is None:
+            row = self.phases[name] = {
+                "wall_s": 0.0, "cpu_s": 0.0, "virtual_ns": 0.0, "hits": 0}
+            self._order.append(name)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        vt0 = self.cluster.time if self.cluster is not None else 0.0
+        try:
+            yield row
+        finally:
+            row["wall_s"] += time.perf_counter() - wall0
+            row["cpu_s"] += time.process_time() - cpu0
+            if self.cluster is not None:
+                row["virtual_ns"] += self.cluster.time - vt0
+            row["hits"] += 1
+
+    def skew(self, name: str) -> Optional[float]:
+        """Host seconds per simulated second for phase ``name``.
+
+        ``None`` when the phase advanced no virtual time (setup phases)
+        or was never entered.
+        """
+        row = self.phases.get(name)
+        if not row or not row["virtual_ns"]:
+            return None
+        return row["wall_s"] / (row["virtual_ns"] * 1e-9)
+
+    def report(self) -> str:
+        """Aligned per-phase table, in first-entered order."""
+        lines = ["phase                     wall(s)   cpu(s)  virt(ms)"
+                 "     host-s/sim-s  hits"]
+        for name in self._order:
+            row = self.phases[name]
+            skew = self.skew(name)
+            skew_txt = f"{skew:15.1f}" if skew is not None else f"{'-':>15}"
+            lines.append(
+                f"{name:<24} {row['wall_s']:8.4f} {row['cpu_s']:8.4f} "
+                f"{row['virtual_ns'] / 1e6:9.3f}  {skew_txt}  "
+                f"{row['hits']:4d}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PhaseProfiler {len(self.phases)} phase(s)>"

@@ -1,0 +1,269 @@
+"""Projections-style post-mortem analysis of a kernel trace.
+
+Given a JSON-lines trace written by :class:`~repro.kernel.KernelTracer`
+(or its run-wide subclass :class:`~repro.obs.collect.RunObserver`),
+:func:`build_report` computes the paper-reproduction's standard views:
+
+* **per-PE utilization** — busy time integrated from the ``busy`` fields
+  the observer attributes to each dispatch, against the run makespan;
+* **load imbalance over time** — the makespan split into equal windows,
+  each scored ``max(busy)/avg(busy)`` across PEs (1.0 = perfect);
+* **migration table** — per (src, dst) move counts and bytes, split into
+  completed moves and bounce-home returns, matching the
+  :class:`~repro.core.migration.ThreadMigrator` counters exactly;
+* **message histograms** — size and delivery-latency distributions over
+  the fixed bucket layouts from :mod:`repro.obs.metrics`.
+
+Every view degrades gracefully: a plain ``KernelTracer`` dump (no
+``busy``/``send``/``migration`` entries) still yields category counts
+and whatever the schema carries, with the missing sections marked
+absent rather than wrong.  ``--json`` output is fully deterministic —
+sorted keys, fixed buckets, no host timestamps — so fingerprints of it
+are stable across runs (and are pinned by the golden-metrics tests).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.obs.metrics import BYTE_BUCKETS, Histogram, TIME_NS_BUCKETS
+
+__all__ = ["load_trace", "build_report", "render_report"]
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Read a JSON-lines trace file into a list of entry dicts."""
+    entries = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except ValueError as e:
+                raise ReproError(
+                    f"{path}:{lineno}: not a JSON trace line: {e}")
+    return entries
+
+
+# ---------------------------------------------------------------------------
+
+
+def _utilization(entries, makespan: float) -> Dict[str, Any]:
+    busy: Dict[str, float] = {}
+    for e in entries:
+        for pe, ns in e.get("busy", {}).items():
+            busy[pe] = busy.get(pe, 0.0) + ns
+    pes = sorted(busy, key=int)
+    return {
+        "makespan_ns": makespan,
+        "per_pe": {pe: {"busy_ns": busy[pe],
+                        "util": busy[pe] / makespan if makespan else 0.0}
+                   for pe in pes},
+    }
+
+
+def _imbalance_timeline(entries, makespan: float,
+                        windows: int) -> List[Dict[str, Any]]:
+    """Windowed max/avg busy-time ratio across PEs.
+
+    Each dispatch's busy charge is attributed to the window containing
+    its event time — a discretization (a long dispatch straddling a
+    boundary lands entirely in one window), which is exactly what
+    Projections' usage profile does at its display resolution.
+    """
+    if makespan <= 0 or windows <= 0:
+        return []
+    pes: set = set()
+    per_window: List[Dict[str, float]] = [dict() for _ in range(windows)]
+    width = makespan / windows
+    for e in entries:
+        b = e.get("busy")
+        if not b:
+            continue
+        w = min(int(e.get("t", 0.0) / width), windows - 1)
+        acc = per_window[w]
+        for pe, ns in b.items():
+            pes.add(pe)
+            acc[pe] = acc.get(pe, 0.0) + ns
+    n_pes = len(pes)
+    out = []
+    for w, acc in enumerate(per_window):
+        total = sum(acc.values())
+        avg = total / n_pes if n_pes else 0.0
+        peak = max(acc.values()) if acc else 0.0
+        out.append({
+            "t0": w * width,
+            "t1": (w + 1) * width,
+            "busy_ns": total,
+            "imbalance": peak / avg if avg else 0.0,
+        })
+    return out
+
+
+def _migration_table(entries) -> Dict[str, Any]:
+    """Per-route move counts/bytes from ``migration`` entries.
+
+    ``migration`` entries come from the ``migration.done`` channel and
+    carry the post-fix accounting semantics: a bounce-home rebuild is
+    ``returned``, not completed, so the ``completed`` total here agrees
+    exactly with ``ThreadMigrator.migrations_completed``.
+    """
+    routes: Dict[tuple, Dict[str, Any]] = {}
+    completed = returned = 0
+    bytes_moved = 0
+    for e in entries:
+        if e.get("ev") != "migration":
+            continue
+        key = (e["src"], e["dst"])
+        row = routes.setdefault(key, {"moves": 0, "returns": 0, "bytes": 0})
+        if e.get("returned"):
+            row["returns"] += 1
+            returned += 1
+        else:
+            row["moves"] += 1
+            completed += 1
+        row["bytes"] += e.get("bytes", 0)
+        bytes_moved += e.get("bytes", 0)
+    return {
+        "completed": completed,
+        "returned": returned,
+        "bytes": bytes_moved,
+        "routes": [
+            {"src": src, "dst": dst, **routes[(src, dst)]}
+            for src, dst in sorted(routes)
+        ],
+    }
+
+
+def _message_histograms(entries) -> Dict[str, Any]:
+    sizes = Histogram("net.msg_bytes", BYTE_BUCKETS)
+    latency = Histogram("net.latency_ns", TIME_NS_BUCKETS)
+    for e in entries:
+        ev = e.get("ev")
+        if ev == "send":
+            sizes.observe(e["bytes"])
+        elif (ev == "end" and not e.get("skipped")
+                and str(e.get("category", "")).startswith("net.")
+                and "sent" in e):
+            latency.observe(e["t"] - e["sent"])
+    return {"sizes": sizes.snapshot(), "latency_ns": latency.snapshot()}
+
+
+def _categories(entries) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for e in entries:
+        if e.get("ev") == "end" and not e.get("skipped"):
+            cat = e.get("category", "uncategorized")
+            out[cat] = out.get(cat, 0) + 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_report(entries: List[Dict[str, Any]],
+                 registry=None, windows: int = 8) -> Dict[str, Any]:
+    """Compute the full report dict from trace ``entries``.
+
+    The result is plain JSON-able data with deterministic ordering; pass
+    an optional :class:`MetricsRegistry` to embed its snapshot.
+    """
+    makespan = 0.0
+    for e in entries:
+        for t in e.get("clock", {}).values():
+            makespan = max(makespan, t)
+        if e.get("ev") == "end":
+            makespan = max(makespan, e.get("t", 0.0))
+    report: Dict[str, Any] = {
+        "events": len(entries),
+        "utilization": _utilization(entries, makespan),
+        "imbalance_timeline": _imbalance_timeline(entries, makespan,
+                                                  windows),
+        "migrations": _migration_table(entries),
+        "messages": _message_histograms(entries),
+        "categories": _categories(entries),
+    }
+    if registry is not None:
+        report["metrics"] = registry.snapshot()
+    return report
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`build_report` output."""
+    lines: List[str] = []
+    util = report["utilization"]
+    lines.append(f"== run: {report['events']} trace entries, makespan "
+                 f"{_fmt_ns(util['makespan_ns'])}")
+
+    lines.append("")
+    lines.append("-- per-PE utilization")
+    if util["per_pe"]:
+        for pe, row in util["per_pe"].items():
+            bar = "#" * int(round(row["util"] * 40))
+            lines.append(f"  pe{pe:>3}  {_fmt_ns(row['busy_ns']):>10}  "
+                         f"{row['util'] * 100:5.1f}%  {bar}")
+    else:
+        lines.append("  (trace carries no busy attribution — record it "
+                     "with repro.obs.RunObserver)")
+
+    timeline = report["imbalance_timeline"]
+    if timeline:
+        lines.append("")
+        lines.append("-- load imbalance over time (max/avg busy per window;"
+                     " 1.00 = balanced)")
+        for w in timeline:
+            mark = "*" * int(round(min(w["imbalance"], 5.0) * 8))
+            lines.append(f"  [{_fmt_ns(w['t0']):>10} .. "
+                         f"{_fmt_ns(w['t1']):>10}]  "
+                         f"{w['imbalance']:5.2f}  {mark}")
+
+    mig = report["migrations"]
+    lines.append("")
+    lines.append(f"-- migrations: {mig['completed']} completed, "
+                 f"{mig['returned']} returned, {mig['bytes']}B shipped")
+    for row in mig["routes"]:
+        lines.append(f"  pe{row['src']} -> pe{row['dst']}: "
+                     f"{row['moves']} moves, {row['returns']} returns, "
+                     f"{row['bytes']}B")
+
+    msgs = report["messages"]
+    lines.append("")
+    lines.append(f"-- messages: {msgs['sizes']['count']} sends, "
+                 f"{msgs['sizes']['total']:.0f}B total")
+    for label, h in (("size", msgs["sizes"]),
+                     ("latency", msgs["latency_ns"])):
+        if not h["count"]:
+            continue
+        lines.append(f"   {label} histogram:")
+        for bucket, n in h["buckets"].items():
+            if n:
+                lines.append(f"     {bucket:>12}  {n}")
+
+    cats = report["categories"]
+    if cats:
+        lines.append("")
+        lines.append("-- dispatches by category")
+        for cat in sorted(cats):
+            lines.append(f"  {cat:<24} {cats[cat]}")
+
+    if "metrics" in report:
+        m = report["metrics"]
+        lines.append("")
+        lines.append("-- metrics registry")
+        for name, v in m["counters"].items():
+            lines.append(f"  {name:<32} {v}")
+        for name, v in m["gauges"].items():
+            lines.append(f"  {name:<32} {v:g}")
+    return "\n".join(lines)

@@ -42,6 +42,10 @@ class Cluster:
         #: When tracing is enabled, every send appends
         #: (send_time, src, dst, tag, size_bytes) here.
         self.message_trace: Optional[List[tuple]] = None
+        #: Per-cluster message-id counter: ids restart at 1 for every
+        #: cluster, so identical runs in one host process get identical
+        #: ids (replay/fingerprint comparisons may key on msg_id).
+        self._next_msg_id = 0
 
     def __len__(self) -> int:
         return len(self.processors)
@@ -63,9 +67,10 @@ class Cluster:
             raise CommError(f"send to failed processor {dst} "
                             f"(tag={tag!r})")
         sender.charge(self.network.per_message_cpu_ns)
+        self._next_msg_id += 1
         msg = Message(src=src, dst=dst, payload=payload,
                       size_bytes=size_bytes, tag=tag,
-                      send_time=sender.now)
+                      send_time=sender.now, msg_id=self._next_msg_id)
         arrival = self.network.delivery_time(sender.now, size_bytes,
                                              src=src, dst=dst)
         # Never schedule into the queue's past: a processor whose local

@@ -2,22 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.topology import Topology
 
 __all__ = ["Message", "Network"]
-
-
-_message_counter = 0
-
-
-def _next_message_id() -> int:
-    global _message_counter
-    _message_counter += 1
-    return _message_counter
 
 
 @dataclass
@@ -29,6 +20,11 @@ class Message:
     the simulated wire size used for bandwidth accounting — the two are
     decoupled on purpose, since e.g. a packed thread's wire size is the size
     of its simulated stack and heap, not of the Python object carrying it.
+
+    ``msg_id`` is assigned by the sending :class:`~repro.sim.cluster.Cluster`
+    from a per-cluster counter, so ids are deterministic across runs: two
+    identical simulations in one host process number their messages
+    identically (a module-global counter here once broke exactly that).
     """
 
     src: int
@@ -37,7 +33,7 @@ class Message:
     size_bytes: int
     tag: str = ""
     send_time: float = 0.0
-    msg_id: int = field(default_factory=_next_message_id)
+    msg_id: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Message #{self.msg_id} {self.src}->{self.dst} "

@@ -1,0 +1,66 @@
+"""OBS001 fixture: module-global runtime state with clean counterparts.
+
+OBS001 is path-scoped to the runtime packages (``repro/sim``,
+``repro/core``, ``repro/kernel``, ``repro/obs``), so this fixture lives
+under a ``repro/sim/`` subdirectory to land inside the scope — the rule
+must stay silent about test helpers and analysis code elsewhere.
+"""
+
+_MESSAGE_COUNTER = 0                              # expect: OBS001
+
+
+def next_message_id():
+    # The original replay bug: a process-lifetime counter keeps counting
+    # across runs, so the second identical run sees different ids.
+    global _MESSAGE_COUNTER
+    _MESSAGE_COUNTER += 1
+    return _MESSAGE_COUNTER
+
+
+HANDLERS = {}                                     # expect: OBS001
+
+
+def register_handler(tag, fn):
+    HANDLERS[tag] = fn
+
+
+IN_FLIGHT = []                                    # expect: OBS001
+
+
+def track(msg):
+    IN_FLIGHT.append(msg)
+
+
+# Clean: immutable module constants are identical in every run.
+DEFAULT_LATENCY_NS = 6_500.0
+TAGS = ("ampi", "thmig")
+
+# Clean: a module-scope dict no function body ever mutates.
+LAYOUT = {"stack_pages": 8}
+
+
+def read_only():
+    return LAYOUT["stack_pages"], DEFAULT_LATENCY_NS
+
+
+class PerRunState:
+    """Clean: state on a per-run object resets with each construction."""
+
+    def __init__(self):
+        self.counter = 0
+        self.registry = {}
+
+    def bump(self):
+        self.counter += 1
+        self.registry["last"] = self.counter
+
+
+# One consciously-suppressed case, as every fixture carries — the
+# write-once-at-import registry pattern, justified where it is bound:
+# migralint: disable=OBS001
+PLATFORM_TABLE = {}
+
+
+def _register(profile):
+    PLATFORM_TABLE[profile] = profile
+    return profile

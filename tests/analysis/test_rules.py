@@ -39,6 +39,9 @@ FIXTURE_CASES = [
     ("mig003_state.py", "MIG003"),
     ("mig004_sdag.py", "MIG004"),
     ("mig005_isomalloc.py", "MIG005"),
+    # Lives in a repro/sim/ subdirectory because OBS001 is path-scoped
+    # to the runtime packages.
+    (os.path.join("repro", "sim", "obs001_state.py"), "OBS001"),
 ]
 
 
@@ -118,6 +121,6 @@ def test_clean_module_is_clean():
 
 def test_rule_metadata_is_complete():
     for rule in all_rules():
-        assert re.fullmatch(r"(MIG|KRN|EXC)\d{3}", rule.id)
+        assert re.fullmatch(r"(MIG|KRN|EXC|OBS)\d{3}", rule.id)
         assert rule.name and rule.summary
         assert rule.severity.value in ("error", "warning")

@@ -126,6 +126,12 @@ def test_bounced_migration_returns_home_and_database_follows():
     assert placements[2] == 0                  # bounced back to the source
     assert injector.counters["migrations_bounced"] == 1
     assert rt.migrator.migrations_bounced == 1
+    # Truth-telling accounting: the bounce-home rebuild is *returned*,
+    # not completed, and the thread's own odometer stays at zero — it
+    # never actually changed processors.
+    assert rt.migrator.migrations_returned == 1
+    assert rt.migrator.migrations_completed == 0
+    assert rt.rank_thread[2].migrations == 0
     assert rt.done
 
 

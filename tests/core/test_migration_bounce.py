@@ -1,0 +1,89 @@
+"""Regression: a bounced migration must not count as a completed one.
+
+When the destination refuses an in-flight image (the
+``migration.delivery`` channel answers ``"bounce"``), the image ships
+back and the thread is rebuilt at *home* — it moved nowhere.  The
+rebuild path once fell through to the normal-arrival accounting and
+incremented ``migrations_completed`` and ``thread.migrations`` anyway,
+feeding phantom successful moves into LB statistics.  These tests pin
+the fixed accounting (``migrations_returned``) and fail on the old code.
+"""
+
+from repro.core.thread import ThreadState
+from tests.core.conftest import make_cluster
+
+
+def bounce_once_cluster():
+    """A 2-PE cluster whose first migration delivery is refused."""
+    cl, scheds, mig, _ = make_cluster(2, emulate_swap=True)
+    state = {"bounced": 0}
+
+    def refuse_first(image, msg):
+        if state["bounced"]:
+            return None
+        state["bounced"] += 1
+        return "bounce"
+
+    cl.queue.hooks.subscribe("migration.delivery", refuse_first)
+    return cl, scheds, mig
+
+
+def test_bounce_home_rebuild_is_returned_not_completed():
+    cl, scheds, mig = bounce_once_cluster()
+    log = []
+
+    def body(th):
+        log.append(th.scheduler.processor.id)
+        yield "suspend"
+        log.append(th.scheduler.processor.id)
+
+    t = scheds[0].create(body)
+    scheds[0].run()
+    mig.migrate(t, 1)
+    cl.run()                                   # out-bounce-and-back
+    assert t.scheduler is scheds[0]            # rebuilt at home
+    assert mig.migrations_bounced == 1
+    assert mig.migrations_returned == 1
+    # The heart of the regression: nothing completed, the thread never
+    # migrated, yet both were once incremented on the bounce-home path.
+    assert mig.migrations_completed == 0
+    assert t.migrations == 0
+    scheds[0].awaken(t)
+    scheds[0].run()
+    assert log == [0, 0]
+
+
+def test_successful_migration_accounting_is_unchanged():
+    cl, scheds, mig, _ = make_cluster(2, emulate_swap=True)
+
+    def body(th):
+        yield "suspend"
+
+    t = scheds[0].create(body)
+    scheds[0].run()
+    mig.migrate(t, 1)
+    cl.run()
+    assert (mig.migrations_completed, mig.migrations_returned) == (1, 0)
+    assert t.migrations == 1
+
+
+def test_bounce_then_real_migration_counts_each_once():
+    """After a bounce, a later (un-refused) migration of the same thread
+    completes and is counted exactly once."""
+    cl, scheds, mig = bounce_once_cluster()
+
+    def body(th):
+        yield "suspend"
+
+    t = scheds[0].create(body)
+    scheds[0].run()
+    mig.migrate(t, 1)
+    cl.run()                                   # bounced home
+    assert t.state is ThreadState.SUSPENDED
+    mig.migrate(t, 1)                          # second try: no refusal
+    cl.run()
+    assert mig.migrations_bounced == 1
+    assert mig.migrations_returned == 1
+    assert mig.migrations_completed == 1
+    assert t.migrations == 1
+    assert mig.migrations_started == 2

@@ -1,0 +1,46 @@
+"""Shared workload for the observability tests.
+
+One small AMPI run that exercises every observed channel: skewed compute
+(so the greedy balancer actually migrates), a ring exchange every
+iteration (messages with latency), and periodic checkpoints (the
+``checkpoint.write`` channel).
+"""
+
+import pytest
+
+from repro.ampi import AmpiRuntime
+from repro.obs import RunObserver
+
+
+def ring_migrate_main(iterations=3, payload=2048):
+    """Rank main: skewed charge + ring exchange + migrate + checkpoint."""
+    def main(mpi):
+        right = (mpi.rank + 1) % mpi.size
+        left = (mpi.rank - 1) % mpi.size
+        for it in range(iterations):
+            mpi.charge(40_000.0 * (1 + mpi.rank % 3))
+            mpi.send(right, mpi.rank * 100 + it, tag="ring",
+                     size_bytes=payload)
+            yield from mpi.recv(left, tag="ring")
+            yield from mpi.migrate()
+            if it == iterations - 1:
+                yield from mpi.checkpoint()
+    return main
+
+
+def run_observed(pes=4, ranks=8, **kw):
+    """Build, observe, and run the shared workload.
+
+    Returns ``(rt, obs)`` with the observer still attached (finalize /
+    detach are the test's business).
+    """
+    rt = AmpiRuntime(pes, ranks, ring_migrate_main(**kw))
+    obs = RunObserver.for_ampi(rt)
+    obs.attach()
+    rt.run()
+    return rt, obs
+
+
+@pytest.fixture
+def observed_run():
+    return run_observed()

@@ -1,0 +1,98 @@
+"""RunObserver: attachment hygiene, busy attribution, channel capture."""
+
+import pytest
+
+from repro.ampi import AmpiRuntime
+from repro.errors import ReproError
+from repro.kernel.hooks import NOTIFY_HOOKS
+from repro.obs import MetricsRegistry, RunObserver
+
+from tests.obs.conftest import ring_migrate_main
+
+
+def _bus_is_cold(bus):
+    return (not bus.hot
+            and all(not getattr(bus, name) for name in NOTIFY_HOOKS)
+            and not any(bus.has(ch) for ch in ("net.send",
+                                               "migration.done",
+                                               "checkpoint.write")))
+
+
+def test_detach_restores_every_kernel_to_the_cold_path():
+    rt = AmpiRuntime(2, 4, ring_migrate_main(iterations=1))
+    buses = ([rt.cluster.queue.hooks]
+             + [s.kernel.hooks for s in rt.schedulers])
+    assert all(_bus_is_cold(b) for b in buses)
+    obs = RunObserver.for_ampi(rt)
+    obs.attach()
+    assert all(b.hot for b in buses)
+    obs.detach()
+    assert all(_bus_is_cold(b) for b in buses)
+    # Double-detach must fail loudly, not silently half-unsubscribe.
+    with pytest.raises(ReproError):
+        obs.detach()
+
+
+def test_registry_counters_match_runtime_ground_truth(observed_run):
+    rt, obs = observed_run
+    r = obs.registry
+    mig = rt.migrator
+    assert r.counter("migration.completed").value == \
+        mig.migrations_completed
+    assert r.counter("migration.returned").value == mig.migrations_returned
+    sent = sum(p.messages_sent for p in rt.cluster.processors)
+    assert r.counter("net.messages").value == sent > 0
+    assert r.counter("checkpoint.writes").value > 0
+    assert r.counter("kernel.switches").value > 0
+    assert r.counter("kernel.dispatched").value == \
+        sum(1 for e in obs.entries
+            if e.get("ev") == "end" and not e.get("skipped"))
+
+
+def test_busy_attribution_sums_to_processor_busy_time(observed_run):
+    rt, obs = observed_run
+    obs.finalize()  # flushes tail charges after the last dispatch
+    attributed = {}
+    for e in obs.entries:
+        for pe, ns in e.get("busy", {}).items():
+            attributed[pe] = attributed.get(pe, 0.0) + ns
+    for i, p in enumerate(rt.cluster.processors):
+        expected = p.busy_ns - obs.busy_at_attach[i]
+        assert attributed.get(str(p.id), 0.0) == pytest.approx(expected)
+
+
+def test_channel_entries_are_recorded(observed_run):
+    rt, obs = observed_run
+    kinds = {e["ev"] for e in obs.entries if "ev" in e}
+    assert {"schedule", "begin", "end", "send", "migration",
+            "checkpoint"} <= kinds
+    sends = [e for e in obs.entries if e.get("ev") == "send"]
+    # Ring payloads are there among the runtime's own traffic
+    # (thread images, barriers).
+    assert any(e["bytes"] == 2048 for e in sends)
+    assert all(e["bytes"] >= 0 for e in sends)
+    migs = [e for e in obs.entries if e.get("ev") == "migration"]
+    assert all({"src", "dst", "bytes"} <= set(e) for e in migs)
+
+
+def test_finalize_publishes_per_pe_gauges(observed_run):
+    rt, obs = observed_run
+    r = obs.finalize()
+    assert r.gauge("run.makespan_ns").value == pytest.approx(rt.makespan_ns)
+    for p in rt.cluster.processors:
+        assert r.gauge(f"pe{p.id}.busy_ns").value == pytest.approx(p.busy_ns)
+        util = r.gauge(f"pe{p.id}.util").value
+        assert 0.0 <= util <= 1.0
+
+
+def test_observer_accepts_a_shared_registry():
+    registry = MetricsRegistry()
+    registry.counter("kernel.dispatched").inc(5)
+    rt = AmpiRuntime(2, 4, ring_migrate_main(iterations=1))
+    obs = RunObserver.for_ampi(rt, registry=registry)
+    assert obs.registry is registry
+    obs.attach()
+    rt.run()
+    # The pre-existing count is additive, not reset — shared registries
+    # aggregate across runs by design.
+    assert registry.counter("kernel.dispatched").value > 5

@@ -1,0 +1,111 @@
+"""Golden metrics fingerprints: the registry snapshot is deterministic.
+
+Each chaos workload x seed runs under the exact golden-seed fault
+schedule with a :class:`RunObserver` attached through
+``drive_ampi_chaos``'s ``observe`` hook.  Two things are pinned:
+
+* the SHA-256 of the sorted-keys JSON metrics snapshot — identical
+  runs must produce byte-identical metrics (fixed histogram buckets,
+  no host clocks or RNG anywhere in the registry);
+* the run's *chaos* fingerprint still equals the pre-observability
+  golden from ``tests/chaos/test_golden_seeds.py`` — attaching the
+  observer must not perturb the run by one bit (observer purity).
+
+To re-capture after a *deliberate* metrics-schema change::
+
+    PYTHONPATH=src:. python -c \\
+        "from tests.obs.test_golden_metrics import regenerate; regenerate()"
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.chaos import (BTMZChaosWorkload, FaultSchedule,
+                         SampleSortChaosWorkload, StencilChaosWorkload,
+                         drive_ampi_chaos)
+from repro.obs import RunObserver
+
+from tests.chaos.test_golden_seeds import CONFIG, GOLDEN
+
+WORKLOADS = (StencilChaosWorkload, SampleSortChaosWorkload,
+             BTMZChaosWorkload)
+SEEDS = (0, 1)
+
+#: workload-name -> seed -> SHA-256 of the sorted-keys JSON snapshot.
+METRICS_GOLDEN = {
+    "stencil": {
+        0: "cd7f5ca345fbd8cf41aa7104815bd7e7da0c603bf2d39f78349e1e57b4e14197",
+        1: "5c89a9fc8dc5abf7ec2c551549619fee2b82d1814a0a7b6f39ef2dd32efd511e",
+    },
+    "samplesort": {
+        0: "7cdc5885b6c6ef599682849c773bcfe1d25dafb61d96a1cfd363ff6940dc26bd",
+        1: "0fc1c43bd7056eaca814ada0c63b3672c60a088e2ef029ca9da9ddf34f35c847",
+    },
+    "btmz": {
+        0: "c56b3227ea3751534a1e1ee3a1b5cd9deec2b2d621abb9553cc730434af913ae",
+        1: "dd0eabb6fd64be84da719a94932b4ff36bb2246bb3b29bc1f2ab5d6dbea69719",
+    },
+}
+
+
+def observed_chaos_run(wl_cls, seed):
+    """One golden-config chaos run with full observability attached."""
+    wl = wl_cls()
+    holder = {}
+
+    def observe(rt, ctx):
+        obs = RunObserver.for_ampi(rt)
+        obs.attach()
+        ctx.metrics = obs.registry
+        holder["obs"], holder["ctx"] = obs, ctx
+
+    result = drive_ampi_chaos(wl, FaultSchedule.seeded(seed, CONFIG),
+                              seed=seed, observe=observe)
+    obs, ctx = holder["obs"], holder["ctx"]
+    obs.finalize()
+    ctx.injector.export_metrics(obs.registry)
+    return result, obs
+
+
+def metrics_fingerprint(obs) -> str:
+    blob = json.dumps(obs.registry.snapshot(), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def regenerate() -> dict:
+    """Re-capture METRICS_GOLDEN; prints and returns it."""
+    table = {}
+    for wl_cls in WORKLOADS:
+        for seed in SEEDS:
+            _, obs = observed_chaos_run(wl_cls, seed)
+            fp = metrics_fingerprint(obs)
+            table.setdefault(wl_cls.name, {})[seed] = fp
+            print(f'        {seed}: "{fp}",  # {wl_cls.name}')
+    return table
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("wl_cls", WORKLOADS,
+                         ids=[w.name for w in WORKLOADS])
+def test_metrics_fingerprint_and_observer_purity(wl_cls, seed):
+    result, obs = observed_chaos_run(wl_cls, seed)
+    # Purity: the observed run IS the golden run, bit for bit.
+    assert result.fingerprint() == GOLDEN[wl_cls.name][seed]
+    # Determinism: the metrics snapshot hashes to its golden.
+    assert metrics_fingerprint(obs) == METRICS_GOLDEN[wl_cls.name][seed]
+
+
+def test_snapshot_has_the_expected_shape():
+    _, obs = observed_chaos_run(StencilChaosWorkload, 0)
+    snap = obs.registry.snapshot()
+    counters = snap["counters"]
+    # The chaos layer exported its fault ledger into the same registry.
+    assert "chaos.faults_injected" in counters
+    assert "chaos.invariant_checks" in counters
+    assert counters["chaos.invariant_checks"] >= 0
+    assert "kernel.dispatched" in counters
+    assert "run.makespan_ns" in snap["gauges"]
+    assert "net.msg_bytes" in snap["histograms"]
+    assert "lb.imbalance" in snap["histograms"]

@@ -1,0 +1,114 @@
+"""MetricsRegistry semantics: instruments, claims, determinism."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (BYTE_BUCKETS, Histogram, MetricsRegistry,
+                       RATIO_BUCKETS, TIME_NS_BUCKETS)
+
+
+def test_counter_get_or_create_is_idempotent():
+    r = MetricsRegistry()
+    c = r.counter("net.messages")
+    c.inc()
+    c.inc(41)
+    assert r.counter("net.messages") is c
+    assert c.value == 42
+
+
+def test_gauge_set_overwrites():
+    r = MetricsRegistry()
+    g = r.gauge("run.makespan_ns")
+    g.set(10.0)
+    g.set(7.5)
+    assert r.gauge("run.makespan_ns").value == 7.5
+
+
+def test_histogram_buckets_values_at_edges_inclusively():
+    h = Histogram("sizes", (64, 256, 1024))
+    for v in (1, 64, 65, 256, 1024, 5000):
+        h.observe(v)
+    snap = h.snapshot()
+    # bisect_left: a value equal to an edge lands in that edge's bucket.
+    assert snap["buckets"] == {"le_64": 2, "le_256": 2, "le_1024": 1,
+                               "inf": 1}
+    assert snap["count"] == 6
+    assert snap["total"] == 1 + 64 + 65 + 256 + 1024 + 5000
+    assert h.mean == snap["total"] / 6
+
+
+def test_histogram_rejects_unsorted_or_empty_edges():
+    with pytest.raises(ReproError):
+        Histogram("bad", (256, 64))
+    with pytest.raises(ReproError):
+        Histogram("empty", ())
+
+
+def test_default_bucket_layouts_are_fixed_and_ascending():
+    for edges in (BYTE_BUCKETS, TIME_NS_BUCKETS, RATIO_BUCKETS):
+        assert list(edges) == sorted(edges)
+        assert len(set(edges)) == len(edges)
+
+
+def test_cross_kind_name_claim_is_an_error():
+    r = MetricsRegistry()
+    r.counter("x")
+    with pytest.raises(ReproError):
+        r.gauge("x")
+    with pytest.raises(ReproError):
+        r.histogram("x")
+    r.gauge("y")
+    with pytest.raises(ReproError):
+        r.counter("y")
+
+
+def test_histogram_edge_mismatch_is_an_error():
+    r = MetricsRegistry()
+    h = r.histogram("lat", TIME_NS_BUCKETS)
+    # Same edges: same instrument back.
+    assert r.histogram("lat", TIME_NS_BUCKETS) is h
+    with pytest.raises(ReproError):
+        r.histogram("lat", BYTE_BUCKETS)
+
+
+def test_get_finds_any_kind():
+    r = MetricsRegistry()
+    c = r.counter("a")
+    g = r.gauge("b")
+    h = r.histogram("c")
+    assert r.get("a") is c and r.get("b") is g and r.get("c") is h
+    assert r.get("missing") is None
+
+
+def _populate(r):
+    r.counter("z.last").inc(3)
+    r.counter("a.first").inc(1)
+    r.gauge("m.mid").set(2.5)
+    h = r.histogram("h.sizes", (10, 100))
+    h.observe(5)
+    h.observe(500)
+
+
+def test_snapshot_is_deterministic_and_sorted():
+    """Two registries populated identically snapshot byte-identically —
+    the property the golden metrics fingerprints stand on."""
+    r1, r2 = MetricsRegistry(), MetricsRegistry()
+    _populate(r1)
+    _populate(r2)
+    s1, s2 = r1.snapshot(), r2.snapshot()
+    assert s1 == s2
+    assert (json.dumps(s1, sort_keys=True)
+            == json.dumps(s2, sort_keys=True))
+    assert list(s1["counters"]) == ["a.first", "z.last"]
+    assert s1["histograms"]["h.sizes"]["buckets"] == {
+        "le_10": 1, "le_100": 0, "inf": 1}
+
+
+def test_render_mentions_every_instrument():
+    r = MetricsRegistry()
+    _populate(r)
+    text = r.render()
+    for name in ("a.first", "z.last", "m.mid", "h.sizes"):
+        assert name in text

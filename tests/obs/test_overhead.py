@@ -1,0 +1,97 @@
+"""The zero-cost-when-off pin for the observability layer.
+
+The structural tests are the real gate: after attach + detach every
+kernel is provably back on the cold path (``hooks.hot`` False, no
+channel subscribers), so an unobserved run executes the exact
+pre-observability instruction stream.  The timing test is a loose
+sanity bound only — host timing on a shared 1-CPU CI container is
+noise — the honest ~1% envelope is measured by ``tools/bench_kernel.py``
+and enforced over time by ``tools/bench_all.py``.
+"""
+
+import time
+
+from repro.kernel import EventKernel
+from repro.kernel.hooks import NOTIFY_HOOKS
+from repro.obs import MetricsRegistry, RunObserver
+
+from tests.obs.conftest import run_observed
+
+
+def test_attach_detach_leaves_no_residue(observed_run):
+    rt, obs = observed_run
+    obs.detach()
+    for bus in [rt.cluster.queue.hooks] + \
+            [s.kernel.hooks for s in rt.schedulers]:
+        assert bus.hot is False
+        assert all(getattr(bus, name) == [] for name in NOTIFY_HOOKS)
+        for ch in ("net.send", "migration.done", "checkpoint.write"):
+            assert not bus.has(ch)
+
+
+def test_observed_run_equals_unobserved_run():
+    """Observation is pure: virtual time and placement are unchanged."""
+    rt_plain, _ = _plain_run()
+    rt_obs, obs = run_observed()
+    assert rt_obs.makespan_ns == rt_plain.makespan_ns
+    assert rt_obs.pe_of_ranks() == rt_plain.pe_of_ranks()
+    assert rt_obs.migrator.migrations_completed == \
+        rt_plain.migrator.migrations_completed
+
+
+def _plain_run():
+    from repro.ampi import AmpiRuntime
+    from tests.obs.conftest import ring_migrate_main
+    rt = AmpiRuntime(4, 8, ring_migrate_main())
+    rt.run()
+    return rt, None
+
+
+def test_cold_path_timing_is_sane():
+    """Interleaved best-of comparison, never-observed vs attach+detach.
+
+    Both sides run hooks-off; the generous 2x bound only catches a
+    detach that forgot to clear a subscription (which would cost far
+    more than noise).  The 1% envelope lives in the bench gate, not
+    here.
+    """
+    N = 3000
+
+    def run_cold():
+        kernel = EventKernel(name="cold")
+        nop = lambda: None  # noqa: E731
+        for i in range(N):
+            kernel.schedule(float(i), nop)
+        kernel.run()
+
+    def run_detached():
+        kernel = EventKernel(name="was-observed")
+
+        class _FakeQueue:
+            def __init__(self, k):
+                self.kernel = k
+                self.hooks = k.hooks
+
+        class _FakeCluster:
+            def __init__(self, k):
+                self.processors = []
+                self.queue = _FakeQueue(k)
+
+        obs = RunObserver(_FakeCluster(kernel),
+                          registry=MetricsRegistry())
+        obs.attach()
+        obs.detach()
+        nop = lambda: None  # noqa: E731
+        for i in range(N):
+            kernel.schedule(float(i), nop)
+        kernel.run()
+
+    best_cold = best_detached = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        run_cold()
+        best_cold = min(best_cold, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_detached()
+        best_detached = min(best_detached, time.perf_counter() - t0)
+    assert best_detached < best_cold * 2.0

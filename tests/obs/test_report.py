@@ -1,0 +1,108 @@
+"""The Projections-style report against ground truth — the PR's
+acceptance test: migration counts in the report must agree *exactly*
+with the ThreadMigrator's counters, through the module API and through
+the ``python -m repro.obs report`` CLI alike."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import build_report, load_trace, render_report
+
+from tests.obs.conftest import run_observed
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    rt, obs = run_observed()
+    path = str(tmp_path_factory.mktemp("trace") / "run.trace")
+    obs.dump(path)
+    return rt, obs, path
+
+
+def test_report_migrations_match_migrator_counters(traced_run):
+    rt, obs, path = traced_run
+    report = build_report(load_trace(path), registry=obs.registry)
+    mig = report["migrations"]
+    assert mig["completed"] == rt.migrator.migrations_completed
+    assert mig["returned"] == rt.migrator.migrations_returned
+    assert mig["completed"] > 0
+    # Route rows decompose the totals exactly.
+    assert sum(r["moves"] for r in mig["routes"]) == mig["completed"]
+    assert sum(r["returns"] for r in mig["routes"]) == mig["returned"]
+    assert sum(r["bytes"] for r in mig["routes"]) == mig["bytes"]
+    # The embedded registry agrees with the trace-derived table.
+    m = report["metrics"]["counters"]
+    assert m["migration.completed"] == mig["completed"]
+    assert m["migration.returned"] == mig["returned"]
+
+
+def test_report_utilization_and_messages(traced_run):
+    rt, obs, path = traced_run
+    report = build_report(load_trace(path), windows=4)
+    util = report["utilization"]
+    assert util["makespan_ns"] == pytest.approx(rt.makespan_ns)
+    assert set(util["per_pe"]) == {str(p.id) for p in rt.cluster.processors}
+    for row in util["per_pe"].values():
+        assert 0.0 < row["util"] <= 1.0
+    timeline = report["imbalance_timeline"]
+    assert len(timeline) == 4
+    assert all(w["imbalance"] >= 1.0 for w in timeline if w["busy_ns"])
+    sent = sum(p.messages_sent for p in rt.cluster.processors)
+    assert report["messages"]["sizes"]["count"] == sent
+    assert report["messages"]["latency_ns"]["count"] > 0
+    assert report["categories"].get("cth.resume", 0) > 0
+
+
+def test_render_report_is_textual_and_complete(traced_run):
+    _, obs, path = traced_run
+    text = render_report(build_report(load_trace(path),
+                                      registry=obs.registry))
+    for needle in ("per-PE utilization", "migrations:", "messages:",
+                   "dispatches by category", "metrics registry"):
+        assert needle in text
+
+
+def test_load_trace_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.trace"
+    bad.write_text('{"ok": 1}\nnot json\n')
+    with pytest.raises(ReproError, match="bad.trace:2"):
+        load_trace(str(bad))
+
+
+def _cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.obs", *args],
+        capture_output=True, text=True, env=env, cwd=ROOT)
+
+
+def test_cli_json_matches_module_api(traced_run):
+    rt, obs, path = traced_run
+    proc = _cli("report", path, "--json")
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(proc.stdout)
+    assert report["migrations"]["completed"] == \
+        rt.migrator.migrations_completed
+    assert report["migrations"]["returned"] == \
+        rt.migrator.migrations_returned
+    # --json output is deterministic: same trace, same bytes.
+    again = _cli("report", path, "--json")
+    assert again.stdout == proc.stdout
+
+
+def test_cli_text_mode_and_error_path(traced_run):
+    _, _, path = traced_run
+    proc = _cli("report", path)
+    assert proc.returncode == 0, proc.stderr
+    assert "per-PE utilization" in proc.stdout
+    missing = _cli("report", os.path.join(ROOT, "no-such.trace"))
+    assert missing.returncode == 2
+    assert missing.stderr.strip()

@@ -1,0 +1,43 @@
+"""The perf-regression gate's tier-1 smoke.
+
+Runs ``tools/bench_all.py --check``: tiny cell sizes through the real
+pipeline (bench workers, sweep executor, baseline load, comparison
+arithmetic) with no timing assertions and no baseline rewrite — wall
+clock on a CI container proves nothing, so the full >20% gate stays an
+operator command (see EXPERIMENTS.md).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+TOOL = os.path.join(ROOT, "tools", "bench_all.py")
+BASELINE = os.path.join(ROOT, "BENCH_repro.json")
+
+
+def test_bench_all_check_mode_passes():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    before = os.path.getmtime(BASELINE)
+    proc = subprocess.run([sys.executable, TOOL, "--check"],
+                          capture_output=True, text=True, env=env, cwd=ROOT)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "--check ok" in proc.stdout
+    # Smoke mode never touches the checked-in baseline.
+    assert os.path.getmtime(BASELINE) == before
+
+
+def test_checked_in_baseline_is_complete():
+    with open(BASELINE) as fh:
+        doc = json.load(fh)
+    assert doc["threshold"] == 1.20
+    benches = doc["benches"]
+    assert set(benches) == {"kernel_dispatch", "kernel_cancel",
+                            "migration", "exec_overhead"}
+    assert benches["kernel_dispatch"]["ns_per_event"] > 0
+    assert benches["kernel_cancel"]["ns_per_event"] > 0
+    assert benches["migration"]["ns_per_migration"] > 0
+    assert benches["migration"]["migrations"] > 0
+    assert benches["exec_overhead"]["ns_per_cell"] > 0

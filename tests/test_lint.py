@@ -33,7 +33,10 @@ def test_gate_covers_the_whole_tree():
             "quiescence.py",
             # ... and the parallel sweep executor (EXC001's home turf)
             "spec.py", "pool.py", "cache.py", "executor.py", "progress.py",
-            "runners.py"} <= names
+            "runners.py",
+            # ... and the observability layer (OBS001's home turf)
+            "metrics.py", "collect.py", "report.py", "profile.py",
+            "benches.py"} <= names
 
 
 def test_shipped_tree_is_lint_clean():
