@@ -157,6 +157,11 @@ class AmpiRuntime:
     def _make_body(self, ctx: AmpiContext):
         def body(th):
             try:
+                # Runtime bookkeeping wrapper, never itself compiled to
+                # events: the compiler (ROADMAP 2) transforms the user's
+                # main, and this try/finally is the runtime's own
+                # completion accounting around it.
+                # migralint: disable=FLW002
                 yield from self.main(ctx)
             finally:
                 self._finished += 1

@@ -16,6 +16,13 @@ Run it as ``python -m repro.analysis <paths>`` or via the ``migralint``
 console script; ``tests/test_lint.py`` runs it over the whole shipped
 tree as a permanent gate.
 
+The ``repro.analysis.flow`` subpackage adds the interprocedural layer:
+per-function CFGs with explicit suspend points, a module-set call graph
+with fixed-point suspends inference, and the compilability report
+(``python -m repro.analysis flowreport``) that classifies every thread
+body as COMPILABLE / NEEDS-REWRITE / OPAQUE for the thread→event
+compilation path (paper §2, ROADMAP item 2).
+
 Shipped rules
 -------------
 ========  ==============================================================
@@ -24,6 +31,14 @@ MIG002    unprivatized-global: raw module globals in migratable bodies
 MIG003    non-migratable-state: locks/files/sockets held across yields
 MIG004    sdag-discipline: SDAG methods yield only When/Overlap/Atomic
 MIG005    isomalloc-escape: simulated addresses leaking into host state
+KRN001    kernel-bypass: heap queues/run loops outside the event kernel
+EXC001    worker-purity: sweep workers ship cells as plain data
+OBS001    module-state: no mutable module-scope state in runtime pkgs
+FLW001    lost-delegation: suspending call without ``yield from``
+FLW002    unsplittable: suspend under with/try-finally/except, bare
+          yield, or closure capture mutated across a suspend
+FLW003    dead-suspend-surface: unreferenced private suspending helper
+DET001    wall-clock-in-sim: wall clock / unseeded RNG in runtime pkgs
 ========  ==============================================================
 """
 

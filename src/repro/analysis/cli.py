@@ -5,6 +5,13 @@ Exit codes follow lint-tool convention:
 * ``0`` — analyzed cleanly, no unsuppressed findings;
 * ``1`` — at least one unsuppressed finding;
 * ``2`` — usage error (no paths, unknown rule id, missing path).
+
+One subcommand rides alongside the positional-paths lint interface:
+``python -m repro.analysis flowreport [--json] [--out FILE]`` renders
+the thread→event compilability report (see
+:mod:`repro.analysis.flow.report`).  ``flowreport`` always exits 0 on a
+successful run — it is a contract document, not a gate; the FLW rules
+are the gating face of the same analysis.
 """
 
 from __future__ import annotations
@@ -16,11 +23,44 @@ from typing import List, Optional, Sequence
 from repro.analysis.core import Rule, all_rules, analyze_paths
 from repro.analysis.reporters import render_human, render_json
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "flowreport_main"]
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_USAGE = 2
+
+
+def flowreport_main(argv: Sequence[str]) -> int:
+    """The ``flowreport`` subcommand (argv excludes the subcommand name)."""
+    from repro.analysis.flow.report import (
+        build_flow_report, render_flow_human, render_flow_json)
+    parser = argparse.ArgumentParser(
+        prog="migralint flowreport",
+        description=("Classify every thread body as COMPILABLE / "
+                     "NEEDS-REWRITE / OPAQUE for the thread-to-event "
+                     "compiler (ROADMAP 2)."))
+    parser.add_argument("--json", action="store_true",
+                        help="print the canonical JSON document (the "
+                             "byte form checked in at "
+                             "results/flow_report.json)")
+    parser.add_argument("--out", metavar="FILE",
+                        help="also write the JSON document to FILE")
+    parser.add_argument("--root", metavar="DIR",
+                        help="repo root to scan (default: derived from "
+                             "the installed package location)")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as e:
+        return EXIT_CLEAN if e.code == 0 else EXIT_USAGE
+    doc = build_flow_report(args.root)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(render_flow_json(doc))
+    if args.json:
+        sys.stdout.write(render_flow_json(doc))
+    else:
+        sys.stdout.write(render_flow_human(doc))
+    return EXIT_CLEAN
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +111,9 @@ def _pick_rules(select: Optional[str],
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "flowreport":
+        return flowreport_main(argv[1:])
     parser = build_parser()
     try:
         args = parser.parse_args(argv)

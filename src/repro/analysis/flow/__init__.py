@@ -1,0 +1,78 @@
+"""Flow analysis: suspend-point CFGs, interprocedural suspends inference,
+and the thread→event compilability report.
+
+ROADMAP item 2 wants Cth thread workloads mechanically compiled to
+event-driven continuations (the CPC transformation, see PAPERS.md).  A
+compiler needs a static front end that decides *which* thread bodies are
+compilable and *why* the rest are not:
+
+* :mod:`repro.analysis.flow.cfg` — per-function control-flow graphs over
+  the Python AST, with basic blocks, back edges, and explicit suspend
+  nodes (``yield "yield"`` / ``yield "suspend"`` / ``yield from`` per the
+  :class:`repro.core.thread.UThread` body protocol);
+* :mod:`repro.analysis.flow.callgraph` — a module-set call graph with a
+  fixed-point *suspends* inference (the CPC "cps" attribute): a function
+  suspends if it yields a scheduler directive or ``yield from``-delegates
+  to a suspending callee, and an unknown callee is soundly assumed
+  suspending;
+* :mod:`repro.analysis.flow.compilability` — classifies every thread
+  body as COMPILABLE / NEEDS-REWRITE / OPAQUE, each NEEDS-REWRITE
+  carrying the precise blocker and source location;
+* :mod:`repro.analysis.flow.report` — the ``flowreport`` CLI and the
+  byte-stable JSON document checked in at ``results/flow_report.json``.
+
+The lint rules FLW001-FLW003 (see :mod:`repro.analysis.rules`) are the
+per-module faces of the same machinery.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.flow.cfg import (
+    BasicBlock,
+    CapturedMutation,
+    FunctionCFG,
+    SuspendPoint,
+    build_cfg,
+    captured_mutations,
+    classify_yield,
+)
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    FuncInfo,
+    runtime_interface,
+)
+from repro.analysis.flow.compilability import (
+    COMPILABLE,
+    NEEDS_REWRITE,
+    OPAQUE,
+    Blocker,
+    BodyReport,
+    classify_bodies,
+)
+from repro.analysis.flow.report import (
+    build_flow_report,
+    render_flow_human,
+    render_flow_json,
+)
+
+__all__ = [
+    "BasicBlock",
+    "Blocker",
+    "BodyReport",
+    "COMPILABLE",
+    "CallGraph",
+    "CapturedMutation",
+    "FuncInfo",
+    "FunctionCFG",
+    "NEEDS_REWRITE",
+    "OPAQUE",
+    "SuspendPoint",
+    "build_cfg",
+    "build_flow_report",
+    "captured_mutations",
+    "classify_bodies",
+    "classify_yield",
+    "render_flow_human",
+    "render_flow_json",
+    "runtime_interface",
+]

@@ -1,0 +1,100 @@
+"""The ``flowreport`` document: per-body compilability, byte-stable.
+
+``python -m repro.analysis flowreport`` prints the human table;
+``--json`` prints the canonical JSON document, whose bytes are checked
+in at ``results/flow_report.json`` as the baseline contract the future
+thread→event compiler must satisfy (see docs/analysis.md).  Stability
+matters: the document contains only repo-relative posix paths and
+AST-derived facts, sorted — no timestamps, no absolute paths, no
+environment — so two runs over the same tree are byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.analysis.flow.callgraph import runtime_interface
+from repro.analysis.flow.compilability import (
+    COMPILABLE,
+    NEEDS_REWRITE,
+    OPAQUE,
+    SCAN_ROOTS,
+    classify_bodies,
+)
+
+__all__ = [
+    "build_flow_report",
+    "default_root",
+    "render_flow_human",
+    "render_flow_json",
+]
+
+#: Bump when the document shape changes; consumers key on it.
+REPORT_VERSION = 1
+
+
+def default_root() -> str:
+    """The repo root, derived from the installed package location.
+
+    The source layout is ``<root>/src/repro/...``; walking two levels up
+    from the package lands on ``<root>``.  ``flowreport --root`` exists
+    for trees laid out differently.
+    """
+    import repro
+    pkg = os.path.dirname(os.path.abspath(repro.__file__))  # .../src/repro
+    return os.path.dirname(os.path.dirname(pkg))
+
+
+def build_flow_report(root: Optional[str] = None) -> dict:
+    """Classify every thread body under ``root`` into one JSON-able doc."""
+    root = root if root is not None else default_root()
+    bodies = classify_bodies(root)
+    summary: Dict[str, int] = {COMPILABLE: 0, NEEDS_REWRITE: 0, OPAQUE: 0}
+    for b in bodies:
+        summary[b.classification] += 1
+    interface = {
+        cls: sorted(m for m, suspends in methods.items() if suspends)
+        for cls, methods in sorted(runtime_interface().items())
+    }
+    return {
+        "report": "flowreport",
+        "version": REPORT_VERSION,
+        "roots": list(SCAN_ROOTS),
+        "suspending_interface": interface,
+        "bodies": [b.to_dict() for b in bodies],
+        "summary": {"bodies": len(bodies), **summary},
+    }
+
+
+def render_flow_json(doc: dict) -> str:
+    """The canonical (checked-in) byte form of the report."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def render_flow_human(doc: dict) -> str:
+    """Aligned per-body table plus blocker details, for terminals."""
+    bodies = doc["bodies"]
+    lines: List[str] = []
+    if not bodies:
+        lines.append("flowreport: no thread bodies found")
+        return "\n".join(lines) + "\n"
+    where = [f"{b['path']}:{b['line']}" for b in bodies]
+    width_where = max(len(w) for w in where)
+    width_name = max(len(b["qualname"]) for b in bodies)
+    for b, w in zip(bodies, where):
+        lines.append(f"{w:<{width_where}}  {b['qualname']:<{width_name}}  "
+                     f"{b['classification']:<13} "
+                     f"directives={b['directives']} "
+                     f"delegations={b['delegations']}")
+        for blocker in b["blockers"]:
+            lines.append(f"    {blocker['rule']} {blocker['kind']} at "
+                         f"{blocker['path']}:{blocker['line']}: "
+                         f"{blocker['detail']}")
+        for reason in b["opaque"]:
+            lines.append(f"    opaque: {reason}")
+    s = doc["summary"]
+    lines.append(f"{s['bodies']} bodies: {s[COMPILABLE]} compilable, "
+                 f"{s[NEEDS_REWRITE]} need rewrite, {s[OPAQUE]} opaque")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,126 @@
+"""DET001 wall-clock-in-sim: nondeterminism sources in replayable code.
+
+Every golden fingerprint in this repo — replay tests, the chaos
+harness's cross-run comparisons, the migration determinism suite —
+depends on the runtime packages being pure functions of (inputs, seed).
+One ``time.time()`` in a scheduling decision or one seedless
+``random.Random()`` in a workload silently breaks bit-identical replay,
+usually long after the commit that introduced it.
+
+Inside ``repro/{sim,core,kernel,chaos,exec,obs}`` this rule bans:
+
+* wall/CPU clock reads: ``time.time``/``monotonic``/``perf_counter``/
+  ``process_time`` (and their ``_ns`` twins), ``time.sleep``,
+  ``datetime.now``/``utcnow``/``today``, ``date.today`` — simulated
+  time comes from the kernel clock;
+* draws from the process-global RNG: ``random.random`` and friends,
+  ``np.random.rand``/``randn``/etc. — all randomness must flow from an
+  explicit seed;
+* seedless generator construction: ``random.Random()`` /
+  ``default_rng()`` with no argument (or ``None``) seeds from the OS.
+
+``random.Random(seed)`` and ``default_rng(seed)`` are the sanctioned
+forms.  Host-side *diagnostics* that genuinely want wall time — the
+phase profiler, bench harness timers, pool heartbeats — carry justified
+``# migralint: disable=DET001`` suppressions; the point is that each
+one is a reviewed decision, not an accident.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import call_name
+from repro.analysis.core import Finding, ModuleContext, Rule, Severity, register
+
+__all__ = ["WallClockInSim"]
+
+#: Directory fragments of the replay-deterministic runtime packages.
+_SCOPED = ("repro/sim/", "repro/core/", "repro/kernel/",
+           "repro/chaos/", "repro/exec/", "repro/obs/")
+
+#: Banned dotted calls, as the last-two-segment names call_name() gives.
+#: ``np.random.rand`` arrives as ``random.rand``, so the numpy global
+#: RNG is covered by the ``random.*`` entries.
+_BANNED = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.sleep",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+    "random.random", "random.randint", "random.randrange",
+    "random.choice", "random.choices", "random.shuffle", "random.sample",
+    "random.uniform", "random.gauss", "random.seed", "random.getrandbits",
+    "random.rand", "random.randn", "random.normal", "random.permutation",
+}
+
+#: Bare names that become banned when from-imported from these modules.
+_BANNED_MODULES = {"time", "datetime", "random", "numpy.random"}
+
+#: Constructors that must receive an explicit seed argument.
+_SEEDED_CTORS = {"Random", "default_rng", "SystemRandom"}
+
+
+def _seedless(call: ast.Call) -> bool:
+    """No positional seed, or an explicit ``None``."""
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    return not any(kw.arg == "seed" and not (
+        isinstance(kw.value, ast.Constant) and kw.value.value is None)
+        for kw in call.keywords)
+
+
+@register
+class WallClockInSim(Rule):
+    """Wall-clock reads and unseeded RNG in the deterministic runtime."""
+
+    id = "DET001"
+    name = "wall-clock-in-sim"
+    severity = Severity.ERROR
+    summary = ("wall-clock/unseeded-RNG calls in repro/{sim,core,kernel,"
+               "chaos,exec,obs} break bit-identical replay — use the "
+               "kernel clock and explicit seeds")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        path = ctx.path.replace("\\", "/")
+        if not any(frag in path for frag in _SCOPED):
+            return
+        from_imported = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0 \
+                    and node.module in _BANNED_MODULES:
+                for alias in node.names:
+                    from_imported.add(alias.asname or alias.name)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            last = name.split(".")[-1]
+            if last in _SEEDED_CTORS and (
+                    name == f"random.{last}"
+                    or (name == last and last in from_imported)):
+                if last == "SystemRandom":
+                    yield self.found(
+                        ctx, node,
+                        f"{name}() draws OS entropy — replay cannot "
+                        f"reproduce it; use random.Random(seed)")
+                elif _seedless(node):
+                    yield self.found(
+                        ctx, node,
+                        f"seedless {name}() seeds from the OS — every "
+                        f"run differs; pass the experiment seed "
+                        f"explicitly")
+                continue
+            if name in _BANNED:
+                yield self.found(
+                    ctx, node,
+                    f"{name}() is nondeterministic across runs — "
+                    f"simulated time comes from the kernel clock and "
+                    f"randomness from the cell seed")
+            elif "." not in name and name in from_imported:
+                yield self.found(
+                    ctx, node,
+                    f"{name}() (from-imported) is nondeterministic "
+                    f"across runs — use the kernel clock / an "
+                    f"explicitly seeded RNG")

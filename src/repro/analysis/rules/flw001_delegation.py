@@ -1,0 +1,74 @@
+"""FLW001 lost-delegation: a suspending call whose directives go nowhere.
+
+Every blocking operation in this codebase is a generator — ``mpi.recv``,
+``comm.barrier``, a helper with its own ``yield "suspend"`` — and its
+directive stream only reaches the scheduler when the caller delegates
+with ``yield from``.  A *plain* call builds the generator object and
+throws it away: no receive happens, no time is charged, no error is
+raised.  This is the silent-no-op bug class the CPC papers make
+impossible by construction (a cps call is syntactically different), and
+the one bug a generator-based encoding cannot catch at runtime.
+
+Flagged, inside any function:
+
+* an expression statement ``f(...)`` whose target is *known* suspending
+  (resolved to a runtime interface method like ``mpi.barrier``, or to a
+  function in this module proven suspending by the fixed point);
+* ``yield f(...)`` of a known-suspending target — the generator object
+  itself is yielded as a bogus directive instead of being drained.
+
+Only *known*-suspending targets are flagged (never the sound
+"unknown ⇒ assume suspending" over-approximation), so passing bodies
+around as values — ``spawn(lambda th: worker(th, i))``, storing a
+generator to drive manually — stays clean.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import walk_shallow
+from repro.analysis.core import Finding, ModuleContext, Rule, Severity, register
+from repro.analysis.flow.callgraph import CallGraph
+
+__all__ = ["LostDelegation"]
+
+
+@register
+class LostDelegation(Rule):
+    """Suspending call not delegated via ``yield from``."""
+
+    id = "FLW001"
+    name = "lost-delegation"
+    severity = Severity.ERROR
+    summary = ("a suspending generator called without 'yield from' "
+               "discards its directive stream — the operation silently "
+               "never runs")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        graph = CallGraph.from_context(ctx)
+        for func in graph.functions_in(ctx.path):
+            for node in walk_shallow(func.node):
+                call = None
+                how = ""
+                if isinstance(node, ast.Expr) \
+                        and isinstance(node.value, ast.Call):
+                    call = node.value
+                    how = ("its result is discarded — delegate with "
+                           "'yield from")
+                elif isinstance(node, ast.Yield) \
+                        and isinstance(node.value, ast.Call):
+                    call = node.value
+                    how = ("'yield' hands the generator object to the "
+                           "scheduler as a bogus directive — use "
+                           "'yield from")
+                if call is None:
+                    continue
+                res = graph.resolve_call(call, func)
+                if graph.resolution_protocol(res):
+                    yield self.found(
+                        ctx, call,
+                        f"{res.label}() is suspending but {how} "
+                        f"{res.label}(...)' so its directives reach "
+                        f"the scheduler")

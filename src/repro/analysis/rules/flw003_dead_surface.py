@@ -1,0 +1,81 @@
+"""FLW003 dead-suspend-surface: a suspending helper nothing delegates to.
+
+The compilability contract (``results/flow_report.json``) is computed
+over the delegation closure of the thread bodies; a suspending helper
+that no body reaches is surface the compiler must still understand but
+that no flow of control exercises.  In practice these are left-overs of
+a rewrite — the helper's callers were converted to call something else,
+and the generator quietly became dead code that still *looks* like part
+of the suspend protocol.
+
+To stay quiet on legitimate exports, only helpers with module-private
+names (``_foo``) or nested definitions are considered, and a single
+by-name reference anywhere else in the module — a call, a delegation, a
+mention in a data structure — keeps the helper alive.  Public helpers
+and ``__all__`` entries are assumed to have cross-module callers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.core import Finding, ModuleContext, Rule, Severity, register
+from repro.analysis.flow.callgraph import CallGraph
+
+__all__ = ["DeadSuspendSurface"]
+
+
+def _module_all(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    for elt in getattr(stmt.value, "elts", []):
+                        if isinstance(elt, ast.Constant) \
+                                and isinstance(elt.value, str):
+                            names.add(elt.value)
+    return names
+
+
+@register
+class DeadSuspendSurface(Rule):
+    """Suspending helper not reachable from any thread body."""
+
+    id = "FLW003"
+    name = "dead-suspend-surface"
+    severity = Severity.WARNING
+    summary = ("a private suspending helper that nothing references is "
+               "dead suspend surface — delete it or wire it back into "
+               "a thread body")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        graph = CallGraph.from_context(ctx)
+        exported = _module_all(ctx.tree)
+        for func in graph.functions_in(ctx.path):
+            if not func.protocol:
+                continue
+            private = func.name.startswith("_")
+            nested = func.parent is not None
+            if not (private or nested) or func.name in exported:
+                continue
+            span = (func.node.lineno,
+                    getattr(func.node, "end_lineno", func.node.lineno))
+            referenced = False
+            for node in ast.walk(ctx.tree):
+                line = getattr(node, "lineno", None)
+                if line is not None and span[0] <= line <= span[1]:
+                    continue
+                if (isinstance(node, ast.Name) and node.id == func.name) \
+                        or (isinstance(node, ast.Attribute)
+                            and node.attr == func.name):
+                    referenced = True
+                    break
+            if not referenced:
+                yield self.found(
+                    ctx, func.node,
+                    f"{func.qualname} is suspending ({func.why}) but "
+                    f"nothing in this module references it — dead "
+                    f"suspend surface; delete it or delegate to it "
+                    f"from a thread body")

@@ -73,6 +73,8 @@ class ProgressReporter:
 
     def _on_begin(self, payload, **ctx):
         self.total = payload["cells"]
+        # Wall clock feeds the operator-facing ETA line only.
+        # migralint: disable=DET001
         self._t0 = time.monotonic()
         if self.registry is not None:
             self.registry.gauge("exec.cells.total").set(self.total)
@@ -123,7 +125,7 @@ class ProgressReporter:
     def _eta_s(self) -> Optional[float]:
         if not self.done or self.done >= self.total:
             return None
-        elapsed = time.monotonic() - self._t0
+        elapsed = time.monotonic() - self._t0  # migralint: disable=DET001
         return elapsed / self.done * (self.total - self.done)
 
     def _line(self) -> str:

@@ -14,20 +14,25 @@ run did the same amount of work as the baseline it is compared against.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Dict, Optional
 
 __all__ = ["run_kernel_bench", "run_cancel_bench", "run_migration_bench",
-           "run_exec_bench", "run_noop_cell"]
+           "run_exec_bench", "run_lint_bench", "run_noop_cell"]
 
 
 def _best_of(repeats: int, fn) -> float:
     """Best wall-clock seconds over ``repeats`` calls of ``fn``."""
     best = float("inf")
     for _ in range(max(1, repeats)):
+        # Measuring host time is this module's entire purpose; the
+        # benches stay deterministic in their *workload*, not their
+        # timings (the gate compares ratios, not fingerprints).
+        # migralint: disable=DET001
         t0 = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - t0)
+        best = min(best, time.perf_counter() - t0)  # migralint: disable=DET001
     return best
 
 
@@ -108,6 +113,40 @@ def run_migration_bench(params: Dict[str, Any],
                    "wall_ms": best * 1e3,
                    "ns_per_migration": best * 1e9 / moves})
     return result
+
+
+def run_lint_bench(params: Dict[str, Any],
+                   seed: Optional[int]) -> Dict[str, Any]:
+    """Full static-analysis pass: every rule plus the flow report.
+
+    ``{"paths": [...], "flow": bool, "repeats": k}`` — times
+    :func:`repro.analysis.analyze_paths` over the given repo-relative
+    paths and (when ``flow`` is set) a full
+    :func:`repro.analysis.flow.build_flow_report`, i.e. the exact work
+    the lint gate and the compilability contract do per CI run.  The
+    metric is ns per analyzed file so it tracks analyzer cost, not
+    tree growth.
+    """
+    from repro.analysis import analyze_paths
+    from repro.analysis.core import collect_files
+    from repro.analysis.flow import build_flow_report
+    from repro.analysis.flow.report import default_root
+
+    root = default_root()
+    paths = [os.path.join(root, p)
+             for p in params.get("paths", ["src", "examples"])]
+    flow = bool(params.get("flow", True))
+    repeats = int(params.get("repeats", 2))
+    files = collect_files(paths)
+
+    def one_round():
+        analyze_paths(paths)
+        if flow:
+            build_flow_report(root)
+
+    best = _best_of(repeats, one_round)
+    return {"files": len(files), "flow": flow,
+            "ns_per_file": best * 1e9 / max(1, len(files))}
 
 
 def run_noop_cell(params: Dict[str, Any],

@@ -1,0 +1,45 @@
+"""FLW001 fixture: suspending calls whose directive stream is discarded.
+
+A plain call to a suspending generator builds the generator object and
+throws it away — nothing suspends, nothing errors.  ``yield f()`` is
+the same bug in yield clothing (and also a non-directive yield, so
+FLW002 fires alongside).
+"""
+
+
+def blocking_helper(th):
+    """Directive yield makes this helper part of the scheduler protocol."""
+    yield "suspend"
+
+
+def chain(th):
+    yield from blocking_helper(th)
+
+
+def body(th):
+    blocking_helper(th)  # expect: FLW001
+    yield blocking_helper(th)  # expect: FLW001, FLW002
+    yield from blocking_helper(th)
+    yield "yield"
+
+
+def rank_main(mpi):
+    mpi.barrier()  # expect: FLW001
+    yield mpi.recv(0)  # expect: FLW001, FLW002
+    yield from mpi.recv(0)
+    mpi.send(1, "payload")
+    handle = blocking_helper
+    yield from chain(mpi)
+    spawn(lambda th: blocking_helper(th))
+    return handle
+
+
+def spawn(factory):
+    return factory
+
+
+def suppressed_body(th):
+    # Driving the helper by hand through a local scheduler stub.
+    # migralint: disable=FLW001
+    blocking_helper(th)
+    yield "yield"

@@ -1,0 +1,45 @@
+"""FLW003 fixture: private suspending helpers nothing references.
+
+Dead suspend surface is a *warning*: the helper still parses, still
+looks like protocol code, but no flow of control can reach it.  Public
+helpers are assumed to have cross-module callers and stay clean.
+"""
+
+
+def _dead_helper(th):  # expect: FLW003
+    yield "suspend"
+
+
+def _live_helper(th):
+    yield "suspend"
+
+
+def body(th):
+    yield from _live_helper(th)
+
+
+def factory():
+    def orphan(th):  # expect: FLW003
+        yield "suspend"
+
+    def used(th):
+        yield "yield"
+
+    return used
+
+
+def public_helper(th):
+    yield "suspend"
+
+
+__all__ = ["body", "public_helper", "_exported_helper"]
+
+
+def _exported_helper(th):
+    yield "suspend"
+
+
+# Kept as the reference decoding path while the binary one stabilises.
+# migralint: disable=FLW003
+def _suppressed_helper(th):
+    yield "suspend"

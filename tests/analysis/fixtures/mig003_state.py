@@ -32,7 +32,7 @@ def bad_body(th):
 def bad_with_body(th):
     """A with-block spanning a yield: the handle outlives residency."""
     with open("trace.log", "w") as out:  # expect: MIG003
-        yield "yield"
+        yield "yield"  # expect: FLW002
         out.write("resumed")
 
 

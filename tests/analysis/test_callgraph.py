@@ -1,0 +1,226 @@
+"""Unit tests for interprocedural suspend inference (repro.analysis.flow.callgraph)."""
+
+import ast
+import textwrap
+
+from repro.analysis.flow.callgraph import CallGraph, runtime_interface
+
+
+def graph_of(*modules, interface=None):
+    """Build a CallGraph from (path, source) pairs with a stub interface."""
+    g = CallGraph(interface={} if interface is None else interface)
+    for path, src in modules:
+        g.add_module(path, ast.parse(textwrap.dedent(src)))
+    g.finalize()
+    return g
+
+
+def fn(graph, path, qualname):
+    return graph.funcs[f"{path}::{qualname}"]
+
+
+# -- fixed-point propagation -------------------------------------------------
+
+def test_directive_yield_is_known_suspending():
+    g = graph_of(("m.py", '''
+        def body(th):
+            yield "suspend"
+    '''))
+    f = fn(g, "m.py", "body")
+    assert f.suspends and f.known and not f.assumed
+    assert f.protocol
+
+
+def test_suspension_propagates_through_delegation_chain():
+    g = graph_of(("m.py", '''
+        def leaf(th):
+            yield "suspend"
+
+        def mid(th):
+            yield from leaf(th)
+
+        def top(th):
+            yield from mid(th)
+    '''))
+    for name in ("leaf", "mid", "top"):
+        f = fn(g, "m.py", name)
+        assert f.suspends and f.known and not f.assumed, name
+        assert f.protocol, name
+
+
+def test_unknown_callee_assumed_suspending():
+    g = graph_of(("m.py", '''
+        def body(th):
+            yield from mystery(th)
+    '''))
+    f = fn(g, "m.py", "body")
+    assert f.suspends and not f.known and f.assumed
+    # Protocol stays narrow: an unknown callee is not *proven* protocol.
+    assert not f.protocol
+
+
+def test_plain_call_does_not_propagate_suspension():
+    g = graph_of(("m.py", '''
+        def leaf(th):
+            yield "suspend"
+
+        def body(th):
+            leaf  # a reference, not a delegation
+            x = 1
+            return x
+    '''))
+    f = fn(g, "m.py", "body")
+    assert not f.suspends and not f.protocol
+
+
+def test_bare_yield_is_known_but_not_protocol():
+    g = graph_of(("m.py", '''
+        def gen(items):
+            for item in items:
+                yield item
+
+        def consumer(items):
+            yield from gen(items)
+    '''))
+    assert fn(g, "m.py", "gen").known
+    assert not fn(g, "m.py", "gen").protocol
+    # Delegating to a bare generator does not make the caller protocol.
+    assert not fn(g, "m.py", "consumer").protocol
+    assert fn(g, "m.py", "consumer").suspends  # sound bit still propagates
+
+
+# -- resolution --------------------------------------------------------------
+
+def test_injected_interface_resolution():
+    iface = {"AmpiContext": {"fake_wait": True, "fake_poke": False}}
+    g = graph_of(("m.py", '''
+        def waits(mpi):
+            yield from mpi.fake_wait()
+
+        def pokes(mpi):
+            yield from mpi.fake_poke()
+    '''), interface=iface)
+    w = fn(g, "m.py", "waits")
+    p = fn(g, "m.py", "pokes")
+    assert w.suspends and w.known and w.protocol
+    assert not p.suspends and not p.protocol
+    assert w.resolved[0][1].kind == "interface"
+
+
+def test_self_method_resolution():
+    g = graph_of(("m.py", '''
+        class Worker:
+            def _step(self, th):
+                yield "suspend"
+
+            def run(self, th):
+                yield from self._step(th)
+    '''))
+    f = fn(g, "m.py", "Worker.run")
+    assert f.suspends and f.known and f.protocol
+    assert f.resolved[0][1].kind == "func"
+
+
+def test_cross_module_from_import_resolution():
+    g = graph_of(
+        ("pkg/helpers.py", '''
+            def pause(th):
+                yield "suspend"
+        '''),
+        ("pkg/main.py", '''
+            from pkg.helpers import pause
+
+            def body(th):
+                yield from pause(th)
+        '''),
+    )
+    f = fn(g, "pkg/main.py", "body")
+    assert f.suspends and f.known and not f.assumed
+
+
+def test_nested_def_resolves_before_module_scope():
+    g = graph_of(("m.py", '''
+        def helper(th):
+            yield "suspend"
+
+        def body(th):
+            def helper(th2):
+                yield "yield"
+            yield from helper(th)
+    '''))
+    f = fn(g, "m.py", "body")
+    ((_y, res),) = f.resolved
+    assert res.kind == "func" and res.key == "m.py::body.helper"
+
+
+# -- cycles ------------------------------------------------------------------
+
+def test_mutual_suspending_recursion_detected():
+    g = graph_of(("m.py", '''
+        def ping(th):
+            yield "suspend"
+            yield from pong(th)
+
+        def pong(th):
+            yield from ping(th)
+    '''))
+    (cycle,) = g.suspending_cycles()
+    assert {g.funcs[k].name for k in cycle} == {"ping", "pong"}
+
+
+def test_self_recursion_detected():
+    g = graph_of(("m.py", '''
+        def drain(th):
+            yield "suspend"
+            yield from drain(th)
+    '''))
+    (cycle,) = g.suspending_cycles()
+    assert [g.funcs[k].name for k in cycle] == ["drain"]
+
+
+def test_non_suspending_cycle_not_reported():
+    g = graph_of(("m.py", '''
+        def even(items):
+            yield from odd(items)
+
+        def odd(items):
+            yield from even(items)
+    '''))
+    assert g.suspending_cycles() == []
+
+
+def test_acyclic_chain_not_reported():
+    g = graph_of(("m.py", '''
+        def leaf(th):
+            yield "suspend"
+
+        def top(th):
+            yield from leaf(th)
+    '''))
+    assert g.suspending_cycles() == []
+
+
+# -- the real runtime interface ----------------------------------------------
+
+def test_runtime_interface_collectives_suspend():
+    iface = runtime_interface()
+    ctx = iface["AmpiContext"]
+    for method in ("recv", "barrier", "allreduce", "wait", "migrate"):
+        assert ctx[method], method
+
+
+def test_runtime_interface_posts_do_not_suspend():
+    iface = runtime_interface()
+    ctx = iface["AmpiContext"]
+    for method in ("send", "isend", "irecv", "iprobe", "charge"):
+        assert not ctx[method], method
+
+
+def test_known_receiver_binds_real_interface():
+    g = graph_of(("m.py", '''
+        def body(mpi):
+            yield from mpi.recv(0)
+            mpi.send(1, "x")
+    '''), interface=runtime_interface())
+    f = fn(g, "m.py", "body")
+    assert f.suspends and f.known and f.protocol

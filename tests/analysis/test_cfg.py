@@ -1,0 +1,270 @@
+"""Unit tests for the flow CFG builder (repro.analysis.flow.cfg)."""
+
+import ast
+import textwrap
+
+from repro.analysis.flow.cfg import (
+    build_cfg,
+    captured_mutations,
+    classify_yield,
+)
+
+
+def func_node(src, name="f"):
+    tree = ast.parse(textwrap.dedent(src))
+    return next(n for n in ast.walk(tree)
+                if isinstance(n, ast.FunctionDef) and n.name == name)
+
+
+def cfg_of(src, name="f"):
+    return build_cfg(func_node(src, name))
+
+
+# -- yield classification ----------------------------------------------------
+
+def test_classify_yield_directives():
+    mod = ast.parse(
+        'def f(th):\n'
+        '    yield "yield"\n'
+        '    yield "suspend"\n'
+        '    yield ("io", 500)\n'
+        '    yield 42\n'
+        '    yield\n'
+        '    yield from g()\n')
+    yields = [n for n in ast.walk(mod)
+              if isinstance(n, (ast.Yield, ast.YieldFrom))]
+    kinds = [classify_yield(y) for y in yields]
+    assert kinds == [("directive", "yield"), ("directive", "suspend"),
+                     ("directive", "io"), ("bare", None), ("bare", None),
+                     ("delegate", None)]
+
+
+# -- block structure ---------------------------------------------------------
+
+def test_suspend_splits_blocks():
+    cfg = cfg_of('''
+        def f(th):
+            a = 1
+            yield "suspend"
+            b = 2
+    ''')
+    assert cfg.is_generator
+    (sp,) = cfg.suspends
+    assert sp.kind == "directive" and sp.directive == "suspend"
+    assert sp.protected == ()
+    # The statement after the suspend lives in a different block.
+    before = cfg.block(sp.block)
+    afters = [cfg.block(s) for s in before.succs]
+    assert any(cfg.block(b.id).lines for b in afters)
+    assert sp.line in before.lines
+
+
+def test_straight_line_has_no_back_edges():
+    cfg = cfg_of('''
+        def f(th):
+            a = 1
+            if a:
+                yield "yield"
+            return a
+    ''')
+    assert cfg.back_edges == []
+
+
+def test_while_loop_records_back_edge():
+    cfg = cfg_of('''
+        def f(th):
+            n = 3
+            while n:
+                n -= 1
+                yield "yield"
+    ''')
+    assert len(cfg.back_edges) == 1
+    src, dst = cfg.back_edges[0]
+    assert dst in cfg.block(src).succs
+    assert cfg.block(dst).label == "while-header"
+
+
+def test_for_loop_and_continue_back_edges():
+    cfg = cfg_of('''
+        def f(th):
+            for i in range(4):
+                if i == 2:
+                    continue
+                yield "yield"
+    ''')
+    headers = {dst for _src, dst in cfg.back_edges}
+    assert len(cfg.back_edges) == 2  # loop-end + continue
+    assert len(headers) == 1
+    assert cfg.block(next(iter(headers))).label == "for-header"
+
+
+def test_break_edges_to_loop_exit_not_header():
+    cfg = cfg_of('''
+        def f(th):
+            while True:
+                yield "suspend"
+                break
+    ''')
+    # Only the structural body-end back edge; break is not a back edge.
+    assert len(cfg.back_edges) == 1
+
+
+def test_suspend_in_loop_counted_once():
+    """Regression: compound-statement headers must not rescan bodies."""
+    cfg = cfg_of('''
+        def f(mpi):
+            for i in range(3):
+                if i:
+                    yield from mpi.recv(i)
+    ''')
+    assert len(cfg.suspends) == 1
+    assert cfg.suspends[0].kind == "delegate"
+    assert cfg.suspends[0].target == "mpi.recv"
+
+
+# -- protected regions -------------------------------------------------------
+
+def test_try_finally_marks_suspend_protected():
+    cfg = cfg_of('''
+        def f(th):
+            try:
+                yield "suspend"
+            finally:
+                pass
+    ''')
+    (sp,) = cfg.suspends
+    assert sp.protected == ("try/finally",)
+
+
+def test_plain_try_except_body_is_unprotected():
+    cfg = cfg_of('''
+        def f(th):
+            try:
+                yield "suspend"
+            except ValueError:
+                pass
+    ''')
+    (sp,) = cfg.suspends
+    assert sp.protected == ()
+
+
+def test_except_handler_suspend_is_protected():
+    cfg = cfg_of('''
+        def f(th):
+            try:
+                pass
+            except ValueError:
+                yield "suspend"
+    ''')
+    (sp,) = cfg.suspends
+    assert sp.protected == ("except",)
+
+
+def test_with_marks_suspend_protected_and_nesting_order():
+    cfg = cfg_of('''
+        def f(th):
+            with lock():
+                try:
+                    yield "suspend"
+                finally:
+                    pass
+            yield "yield"
+    ''')
+    protected = [sp for sp in cfg.suspends if sp.protected]
+    clean = [sp for sp in cfg.suspends if not sp.protected]
+    assert len(protected) == 1 and len(clean) == 1
+    # Outermost-first tuple: with encloses the try/finally.
+    assert protected[0].protected == ("with", "try/finally")
+
+
+def test_finally_body_suspend_is_protected():
+    cfg = cfg_of('''
+        def f(th):
+            try:
+                pass
+            finally:
+                yield "suspend"
+    ''')
+    (sp,) = cfg.suspends
+    assert sp.protected == ("try/finally",)
+
+
+# -- nested scopes -----------------------------------------------------------
+
+def test_nested_def_and_lambda_yields_are_not_counted():
+    cfg = cfg_of('''
+        def f(th):
+            def inner(th2):
+                yield "suspend"
+            g = lambda x: x + 1
+            total = sum(x for x in range(3))
+            yield "yield"
+    ''')
+    assert len(cfg.suspends) == 1
+    assert cfg.suspends[0].directive == "yield"
+
+
+def test_nested_yield_from_chain_targets():
+    cfg = cfg_of('''
+        def f(mpi):
+            yield from step_one(mpi)
+            yield from mpi.barrier()
+            yield from helpers.finish(mpi)
+    ''')
+    assert [sp.target for sp in cfg.delegations()] == [
+        "step_one", "mpi.barrier", "helpers.finish"]
+
+
+def test_lambda_cfg_is_trivial():
+    tree = ast.parse("g = lambda x: x + 1")
+    lam = next(n for n in ast.walk(tree) if isinstance(n, ast.Lambda))
+    cfg = build_cfg(lam)
+    assert not cfg.is_generator and cfg.suspends == []
+    assert cfg.exit in cfg.block(cfg.entry).succs
+
+
+# -- closure captures --------------------------------------------------------
+
+def test_captured_mutation_across_suspend_detected():
+    muts = captured_mutations(func_node('''
+        def f(th):
+            count = 0
+            def peek():
+                return count
+            yield "suspend"
+            count = count + 1
+    '''))
+    (m,) = muts
+    assert m.name == "count"
+    assert m.store_line > m.suspend_line
+
+
+def test_capture_without_rebinding_is_clean():
+    assert captured_mutations(func_node('''
+        def f(th):
+            count = 0
+            def peek():
+                return count
+            yield "suspend"
+            return peek
+    ''')) == []
+
+
+def test_rebinding_without_capture_is_clean():
+    assert captured_mutations(func_node('''
+        def f(th):
+            count = 0
+            yield "suspend"
+            count = count + 1
+    ''')) == []
+
+
+def test_parameter_capture_rebound_after_suspend_detected():
+    muts = captured_mutations(func_node('''
+        def f(th, size):
+            report = lambda: size
+            yield "suspend"
+            size = size * 2
+            return report
+    '''))
+    assert [m.name for m in muts] == ["size"]

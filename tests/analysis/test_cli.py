@@ -66,7 +66,8 @@ def test_list_rules():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
     for rid in ("MIG001", "MIG002", "MIG003", "MIG004", "MIG005",
-                "KRN001", "EXC001"):
+                "KRN001", "EXC001", "OBS001",
+                "FLW001", "FLW002", "FLW003", "DET001"):
         assert rid in proc.stdout
 
 

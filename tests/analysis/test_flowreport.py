@@ -1,0 +1,177 @@
+"""The compilability report: coverage, determinism, the checked-in baseline.
+
+``results/flow_report.json`` is a contract: the future thread→event
+compiler must handle every body it lists as COMPILABLE.  These tests
+pin (a) that every thread body under the scan roots is classified,
+(b) that two runs are byte-identical, and (c) that the checked-in
+bytes match a fresh run — so the file cannot silently drift from the
+tree it describes.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis.flow import (
+    COMPILABLE,
+    NEEDS_REWRITE,
+    OPAQUE,
+    build_flow_report,
+    classify_bodies,
+    render_flow_human,
+    render_flow_json,
+)
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+BASELINE = os.path.join(ROOT, "results", "flow_report.json")
+
+
+def run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    cmd = [sys.executable, "-m", "repro.analysis", "flowreport", *args]
+    return subprocess.run(cmd, capture_output=True, text=True,
+                          cwd=ROOT, env=env)
+
+
+# -- the real tree -----------------------------------------------------------
+
+def test_every_body_in_scan_roots_is_classified():
+    doc = build_flow_report(ROOT)
+    assert doc["summary"]["bodies"] == len(doc["bodies"]) > 0
+    for b in doc["bodies"]:
+        assert b["classification"] in (COMPILABLE, NEEDS_REWRITE, OPAQUE)
+        # Every NEEDS-REWRITE body must say exactly why, with a rule+line.
+        if b["classification"] == NEEDS_REWRITE:
+            assert b["blockers"]
+            for blocker in b["blockers"]:
+                assert blocker["rule"].startswith("FLW")
+                assert blocker["line"] > 0
+        if b["classification"] == OPAQUE:
+            assert b["opaque"]
+
+
+def test_at_least_one_body_is_compilable():
+    doc = build_flow_report(ROOT)
+    assert doc["summary"][COMPILABLE] >= 1
+
+
+def test_known_bodies_are_present():
+    doc = build_flow_report(ROOT)
+    have = {(b["path"], b["qualname"]) for b in doc["bodies"]}
+    for expected in [
+        ("examples/quickstart.py", "main.worker"),
+        ("examples/migration_tour.py", "body"),
+        ("src/repro/workloads/stencil.py", "ampi_stencil_main.main"),
+        ("src/repro/workloads/btmz.py", "make_btmz_main.main"),
+        ("src/repro/chaos/workloads.py", "SampleSortChaosWorkload.build.main"),
+    ]:
+        assert expected in have, expected
+
+
+def test_suspending_interface_is_reported():
+    doc = build_flow_report(ROOT)
+    ctx = doc["suspending_interface"]["AmpiContext"]
+    assert "recv" in ctx and "barrier" in ctx
+    assert "send" not in ctx
+
+
+def test_report_is_deterministic():
+    first = render_flow_json(build_flow_report(ROOT))
+    second = render_flow_json(build_flow_report(ROOT))
+    assert first == second
+
+
+def test_checked_in_baseline_matches_tree():
+    """results/flow_report.json must be regenerated when bodies change."""
+    with open(BASELINE, "r", encoding="utf-8") as fh:
+        checked_in = fh.read()
+    fresh = render_flow_json(build_flow_report(ROOT))
+    assert fresh == checked_in, (
+        "results/flow_report.json is stale — regenerate with "
+        "`python -m repro.analysis flowreport --out results/flow_report.json`")
+
+
+def test_human_rendering_covers_every_body():
+    doc = build_flow_report(ROOT)
+    text = render_flow_human(doc)
+    for b in doc["bodies"]:
+        assert f"{b['path']}:{b['line']}" in text
+    assert f"{doc['summary']['bodies']} bodies:" in text
+
+
+# -- synthetic trees ---------------------------------------------------------
+
+def write_tree(tmp_path, files):
+    for rel, src in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src))
+    return str(tmp_path)
+
+
+def test_needs_rewrite_body_carries_blockers(tmp_path):
+    root = write_tree(tmp_path, {"examples/bad.py": '''
+        def body(th):
+            with open("log") as f:
+                yield "suspend"
+            yield 42
+    '''})
+    (report,) = classify_bodies(root, interface={})
+    assert report.classification == NEEDS_REWRITE
+    kinds = {b.kind for b in report.blockers}
+    assert kinds == {"suspend-in-with", "bare-yield"}
+    assert all(b.rule == "FLW002" for b in report.blockers)
+    assert sorted(b.line for b in report.blockers) == [4, 5]
+
+
+def test_opaque_body_names_the_unresolved_callee(tmp_path):
+    root = write_tree(tmp_path, {"examples/mystery.py": '''
+        def body(th):
+            yield from unknowable(th)
+    '''})
+    (report,) = classify_bodies(root, interface={})
+    assert report.classification == OPAQUE
+    assert any("unknowable" in reason for reason in report.opaque)
+
+
+def test_compilable_synthetic_body(tmp_path):
+    root = write_tree(tmp_path, {"examples/good.py": '''
+        def helper(th):
+            yield "suspend"
+
+        def body(th):
+            yield "yield"
+            yield from helper(th)
+    '''})
+    reports = classify_bodies(root, interface={})
+    by_name = {r.qualname: r for r in reports}
+    assert by_name["body"].classification == COMPILABLE
+    assert by_name["body"].delegations == 1
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def test_cli_human_smoke():
+    proc = run_cli()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "bodies:" in proc.stdout
+    assert "examples/quickstart.py" in proc.stdout
+
+
+def test_cli_json_matches_baseline():
+    proc = run_cli("--json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    with open(BASELINE, "r", encoding="utf-8") as fh:
+        assert proc.stdout == fh.read()
+
+
+def test_cli_out_writes_file(tmp_path):
+    out = tmp_path / "report.json"
+    proc = run_cli("--out", str(out))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    doc = json.loads(out.read_text())
+    assert doc["report"] == "flowreport" and doc["version"] == 1

@@ -33,14 +33,18 @@ def expected_findings(path):
 
 FIXTURE_CASES = [
     ("exc001_worker.py", "EXC001"),
+    ("flw001_lost_delegation.py", "FLW001"),
+    ("flw002_unsplittable.py", "FLW002"),
+    ("flw003_dead_surface.py", "FLW003"),
     ("krn001_runloop.py", "KRN001"),
     ("mig001_pup.py", "MIG001"),
     ("mig002_globals.py", "MIG002"),
     ("mig003_state.py", "MIG003"),
     ("mig004_sdag.py", "MIG004"),
     ("mig005_isomalloc.py", "MIG005"),
-    # Lives in a repro/sim/ subdirectory because OBS001 is path-scoped
-    # to the runtime packages.
+    # These live in a repro/sim/ subdirectory because OBS001 and DET001
+    # are path-scoped to the runtime packages.
+    (os.path.join("repro", "sim", "det001_clock.py"), "DET001"),
     (os.path.join("repro", "sim", "obs001_state.py"), "OBS001"),
 ]
 
@@ -121,6 +125,6 @@ def test_clean_module_is_clean():
 
 def test_rule_metadata_is_complete():
     for rule in all_rules():
-        assert re.fullmatch(r"(MIG|KRN|EXC|OBS)\d{3}", rule.id)
+        assert re.fullmatch(r"(MIG|KRN|EXC|OBS|FLW|DET)\d{3}", rule.id)
         assert rule.name and rule.summary
         assert rule.severity.value in ("error", "warning")

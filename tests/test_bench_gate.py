@@ -35,9 +35,11 @@ def test_checked_in_baseline_is_complete():
     assert doc["threshold"] == 1.20
     benches = doc["benches"]
     assert set(benches) == {"kernel_dispatch", "kernel_cancel",
-                            "migration", "exec_overhead"}
+                            "migration", "exec_overhead", "lint_flow"}
     assert benches["kernel_dispatch"]["ns_per_event"] > 0
     assert benches["kernel_cancel"]["ns_per_event"] > 0
     assert benches["migration"]["ns_per_migration"] > 0
     assert benches["migration"]["migrations"] > 0
     assert benches["exec_overhead"]["ns_per_cell"] > 0
+    assert benches["lint_flow"]["ns_per_file"] > 0
+    assert benches["lint_flow"]["files"] > 60

@@ -66,7 +66,21 @@ def test_no_heapq_outside_kernel():
 
 def test_suppressions_stay_rare():
     """Suppressions are an escape hatch, not a lifestyle: keep them few
-    and force a conscious bump here when one is added."""
+    and force a conscious bump here when one is added.
+
+    Current budget: 3 historical (MIG002/OBS001) + 1 FLW002 on the
+    runtime body wrapper + 15 DET001 on host-side diagnostics (sweep
+    wall-clock timings, worker shutdown grace, bench/profiler timers) —
+    each carries a justification comment at the site.
+    """
     findings = analyze_paths(GATE_PATHS)
     suppressed = [f for f in findings if f.suppressed]
-    assert len(suppressed) <= 5, "\n".join(f.render() for f in suppressed)
+    assert len(suppressed) <= 19, "\n".join(f.render() for f in suppressed)
+
+
+def test_flow_rules_are_in_the_gate():
+    """The interprocedural rules must stay registered — a silently
+    dropped import would shrink the gate without failing it."""
+    from repro.analysis import all_rules
+    ids = {r.id for r in all_rules()}
+    assert {"FLW001", "FLW002", "FLW003", "DET001"} <= ids

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """The perf-regression gate: every subsystem's micro-bench, one file.
 
-Runs the kernel/cancel/migration/executor micro-benches (the workers in
+Runs the kernel/cancel/migration/executor/lint micro-benches (the workers in
 :mod:`repro.obs.benches`) through a serial ``repro.exec`` sweep, compares
 each bench's primary metric against the checked-in baseline
 ``BENCH_repro.json`` at the repo root, and **exits nonzero when any
@@ -56,6 +56,11 @@ BENCHES = {
         {"cells": 64, "repeats": 3},
         {"cells": 4, "repeats": 1},
         "ns_per_cell"),
+    "lint_flow": (
+        "repro.obs.benches:run_lint_bench",
+        {"paths": ["src", "examples"], "flow": True, "repeats": 2},
+        {"paths": ["tools"], "flow": False, "repeats": 1},
+        "ns_per_file"),
 }
 
 

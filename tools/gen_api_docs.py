@@ -23,7 +23,7 @@ PACKAGES = [
     "repro.kernel", "repro.vm", "repro.sim", "repro.core", "repro.flows",
     "repro.charm", "repro.ampi", "repro.balance", "repro.bigsim",
     "repro.pose", "repro.workloads", "repro.bench", "repro.analysis",
-    "repro.chaos", "repro.exec", "repro.obs",
+    "repro.analysis.flow", "repro.chaos", "repro.exec", "repro.obs",
 ]
 
 
