@@ -220,9 +220,12 @@ class CthScheduler:
         """
         key = (0.0 if self.policy == "fifo"
                else float(getattr(thread, "priority", 0)))
-        self.kernel.schedule(key, self._resume, thread,
-                             category="cth.resume",
-                             flow=thread.name or f"tid{thread.tid}")
+        # post() (not schedule()): resumptions are fire-and-forget, so
+        # skipping the KernelEvent handle keeps the context-switch path
+        # allocation-free; ready-queue introspection goes through
+        # live_events(), which materializes handles on demand.
+        self.kernel.post(key, self._resume, (thread,), "cth.resume",
+                         thread.name or f"tid{thread.tid}")
 
     def _seed_inactive(self, thread: UThread, ctx: int) -> None:
         word = self.space.layout.word_bytes

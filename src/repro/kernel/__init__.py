@@ -5,9 +5,12 @@ flows of control over one underlying scheduler.  This package is that
 scheduler, made literal: a single deterministic, instrumented event core
 (:class:`EventKernel`) with
 
-* one heap-based ready/timed queue — O(1) live-event counting, batched
-  cancellation sweeps, and a ``(time, seq)`` FIFO tie-break so
-  simultaneous events always fire in schedule order;
+* one batched, slot-based ready/timed queue — O(1) live-event counting,
+  lazy cancellation with batched compaction, and a ``(time, seq)`` FIFO
+  tie-break so simultaneous events always fire in schedule order.  The
+  hooks-off drain is a sort-and-walk fast path (see
+  ``docs/kernel.md``); the frozen pre-fast-path implementation survives
+  as :mod:`repro.kernel.refkernel`, the differential-testing oracle;
 * a :class:`RunPolicy` object expressing every stop condition the
   runtimes used to hand-roll (``until`` / ``max_events`` / run to
   quiescence);

@@ -1,91 +1,200 @@
-"""The deterministic, instrumented event core.
+"""The deterministic, instrumented event core — batched fast path.
 
 One :class:`EventKernel` instance backs every run loop in the tree: the
 simulated cluster's :class:`~repro.sim.event.EventQueue` façade, each
 processor's Cth thread scheduler (thread resumptions are kernel events),
 and — through the cluster — charm/AMPI delivery, BigSim, and POSE.
 
-Determinism contract (preserved bit-for-bit from the pre-kernel loops):
+Determinism contract (preserved bit-for-bit from the pre-kernel loops,
+and pinned against the frozen reference implementation in
+:mod:`repro.kernel.refkernel` by ``tests/kernel/test_differential.py``):
 
 * events fire in ``(time, seq)`` order where ``seq`` is a per-kernel
   insertion counter — simultaneous events run in schedule (FIFO) order;
 * cancellation never perturbs the order of surviving events: cancelled
-  entries are lazily dropped at the heap top, and the batched sweep
-  rebuilds the heap from events whose ``(time, seq)`` keys are unique,
-  so pop order is unchanged;
+  slots are lazily dropped during dispatch, and the batched compaction
+  filters in place without reordering;
 * scheduling strictly before ``current_time`` raises
   :class:`~repro.errors.ReproError` naming the offending callback.
 
-Bookkeeping is O(1): a live-event counter is maintained on
-schedule/cancel/pop so ``len(kernel)`` and ``kernel.empty`` never scan
-the heap, and a stale counter triggers the compaction sweep only when
-cancelled entries dominate.
+Storage model (the fast path)
+-----------------------------
+Instead of a binary heap of per-event objects, pending events are plain
+8-slot lists — ``[time, seq, state, fn, args, category, flow, handle]``
+— split across two containers:
+
+* ``_data``: unsorted arrivals (append-only between batches);
+* ``_batch``: the consume side, sorted **descending** so the earliest
+  event sits at the end (``batch[-1]``) where ``list.pop()`` is O(1).
+
+A refill merges ``_data`` into ``_batch`` with one ``list.sort`` — for
+the common mostly-ordered arrival pattern Timsort is close to O(n), and
+list-vs-list comparison runs entirely in C.  ``seq`` is unique, so the
+comparison never reaches the callback slots.  The drain loop then walks
+the batch with a bare ``for``, firing callbacks with no per-event method
+calls, hook checks, or policy evaluation: those are hoisted to batch
+boundaries.  ``state`` is 0 (live), 1 (cancelled), or 2 (fired); stale
+slots are skipped and dropped wholesale with the batch.
+
+:class:`KernelEvent` still exists, but as a lazily-materialized *view*
+over a slot (``schedule()`` returns one eagerly for compatibility; the
+bulk :meth:`EventKernel.post`/:meth:`EventKernel.post_batch` APIs return
+raw slots and allocate no handle).  Hooks-off runs therefore allocate
+nothing per event beyond the slot itself.
+
+Bookkeeping is O(1) and derived: ``len(kernel)`` is
+``posted - fired - cancelled`` from three monotone counters, so nothing
+is scanned and the hot loop maintains no per-event live counter.
+
+Contract deltas vs. the reference kernel (documented, hook-invisible):
+
+* ``run()`` is **not re-entrant** on the same kernel — it raises
+  :class:`~repro.errors.ReproError` instead of corrupting the batch
+  (nothing in the tree nests; the AMPI interleave drives distinct
+  kernels from the top level).  ``step()`` likewise refuses while a
+  ``run()`` is dispatching; ``peek_time()`` stays safe everywhere.
+* notify-hook subscriptions made *during* a hooks-off ``run()`` take
+  effect at the next batch boundary, not the next event.  Attach
+  tracers while the kernel is idle (everything in the tree does).
+* ``_dispatching`` is batch-granular on the hooks-off path (it is
+  per-event whenever hooks are hot, matching the reference exactly).
+* the fired-event counters behind ``len()``/``live``/``empty`` are
+  flushed at batch boundaries on the hooks-off path, so a callback
+  reading them *mid-drain* sees the pre-batch value.  State-based
+  introspection (``live_events()``, handle flags) is always exact;
+  nothing in the tree reads the counters mid-dispatch.
 """
 
 from __future__ import annotations
 
-import itertools
 import weakref
-from typing import Any, Callable, Iterator, List, Optional
+from typing import Any, Callable, Iterable, Iterator, List, Optional
 
 from repro.errors import ReproError
 from repro.kernel.hooks import HookBus
 from repro.kernel.policy import RunPolicy
-from repro.kernel.pqueue import MinHeap, heappop, heappush
 
 __all__ = ["KernelEvent", "EventKernel"]
 
-#: Sweep cancelled entries out of the heap once at least this many are
-#: stale *and* they make up half the heap — amortized O(1) per cancel.
+#: Sweep cancelled slots out of storage once at least this many are
+#: stale *and* they make up half the physical queue — amortized O(1)
+#: per cancel.  (Per-call ``cancel_slot`` only evaluates the threshold
+#: every 8th cancel, so compaction may lag by up to 7 slots.)
 _SWEEP_MIN_STALE = 64
+
+# Slot layout indices (a slot is a plain list; see module docstring).
+_TIME, _SEQ, _STATE, _FN, _ARGS, _CAT, _FLOW, _HANDLE = range(8)
 
 
 class KernelEvent:
-    """One scheduled event: a callback to fire at a virtual time.
+    """A view handle over one scheduled event slot.
 
     Events compare by ``(time, seq)`` where ``seq`` is a per-kernel
     insertion counter, so simultaneous events fire in a deterministic
     FIFO order.  ``category`` and ``flow`` are free-form instrumentation
     labels (e.g. ``"net.charm"`` / ``"pe3"``) consumed by the tracer.
+
+    Handles are materialized lazily: the fast bulk APIs return raw
+    slots, and a handle is only built when ``schedule()`` is used or a
+    hook needs one.  All state lives in the slot, so a handle and its
+    kernel always agree.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "category", "flow",
-                 "cancelled", "fired", "_kernel")
+    __slots__ = ("_item", "_kernel")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any],
                  args: tuple, category: str = "",
                  flow: Optional[str] = None):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.category = category
-        self.flow = flow
-        self.cancelled = False
-        self.fired = False
+        self._item = [time, seq, 0, fn, args, category, flow, None]
+        self._item[_HANDLE] = self
         #: Weak back-reference to the owning kernel.  Weak on purpose:
         #: a strong reference would put every queued event in a cycle
-        #: (kernel → heap → event → kernel), and at bench scale the GC
-        #: passes over those cycles cost ~10% of dispatch throughput.
+        #: (kernel → batch → slot → handle → kernel), and at bench
+        #: scale the GC passes over those cycles cost ~10% of dispatch
+        #: throughput.
         self._kernel: "Optional[weakref.ref[EventKernel]]" = None
+
+    @property
+    def time(self) -> float:
+        return self._item[_TIME]
+
+    @property
+    def seq(self) -> int:
+        return self._item[_SEQ]
+
+    @property
+    def fn(self) -> Callable[..., Any]:
+        return self._item[_FN]
+
+    @property
+    def args(self) -> tuple:
+        return self._item[_ARGS]
+
+    @property
+    def category(self) -> str:
+        return self._item[_CAT]
+
+    @property
+    def flow(self) -> Optional[str]:
+        return self._item[_FLOW]
+
+    @property
+    def cancelled(self) -> bool:
+        return self._item[_STATE] == 1
+
+    @property
+    def fired(self) -> bool:
+        return self._item[_STATE] == 2
 
     def cancel(self) -> None:
         """Mark the event so it never fires.  Cancelling an event that
         already fired (or was already cancelled) is a no-op."""
-        if self.cancelled or self.fired:
+        item = self._item
+        if item[_STATE]:
             return
-        self.cancelled = True
         kernel = self._kernel() if self._kernel is not None else None
-        if kernel is not None:
-            kernel._note_cancel(self)
+        if kernel is None:
+            item[_STATE] = 1
+        else:
+            kernel.cancel_slot(item)
 
     def __lt__(self, other: "KernelEvent") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        a, b = self._item, other._item
+        return (a[_TIME], a[_SEQ]) < (b[_TIME], b[_SEQ])
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         flag = " cancelled" if self.cancelled else ""
         cat = f" {self.category}" if self.category else ""
         return f"<Event t={self.time:.1f} #{self.seq}{cat}{flag}>"
+
+
+class _PhysicalView:
+    """Introspection shim for the legacy ``kernel._heap`` attribute.
+
+    ``len()`` reports *physical* storage (live + stale slots), matching
+    the reference kernel's heap length that the sweep tests pin;
+    iteration yields handles for every physically-stored event.
+    """
+
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel: "EventKernel") -> None:
+        self._kernel = kernel
+
+    def __len__(self) -> int:
+        k = self._kernel
+        return len(k._data) + len(k._batch)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self) -> Iterator[KernelEvent]:
+        k = self._kernel
+        for item in list(k._batch) + list(k._data):
+            yield item[_HANDLE] or k._handle(item)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PhysicalView {len(self)} slots>"
 
 
 class EventKernel:
@@ -104,9 +213,9 @@ class EventKernel:
     """
 
     __slots__ = ("name", "causality", "hooks", "current_time",
-                 "events_processed", "_heap", "_data", "_counter", "_live",
-                 "_stale", "_dispatching", "_skip", "_weakself",
-                 "__weakref__")
+                 "events_processed", "_data", "_batch", "_seq", "_nfired",
+                 "_ncancelled", "_stale_est", "_dispatching", "_skip",
+                 "_running", "_weakself", "__weakref__")
 
     def __init__(self, name: str = "kernel", causality: bool = True) -> None:
         self.name = name
@@ -114,132 +223,266 @@ class EventKernel:
         self.hooks = HookBus()
         self.current_time = 0.0
         self.events_processed = 0
-        self._heap = MinHeap()
-        #: Alias of the heap's backing list — stable for the kernel's
-        #: lifetime (rebuild mutates in place), saving an attribute hop
-        #: on every schedule/peek/step.
-        self._data = self._heap.data
-        self._counter = itertools.count()
-        self._live = 0          # non-cancelled events in the heap
-        self._stale = 0         # cancelled events still in the heap
+        self._data: List[list] = []     # unsorted arrivals
+        self._batch: List[list] = []    # sorted descending; earliest last
+        self._seq = 0                   # total slots ever posted
+        self._nfired = 0                # total slots fired
+        self._ncancelled = 0            # total slots cancelled
+        self._stale_est = 0             # cancels since last compaction
         self._dispatching = False
         self._skip = False
+        self._running = False           # inside run()/run_batch()
         self._weakself = weakref.ref(self)
 
     # -- queue state (all O(1)) -----------------------------------------
 
     def __len__(self) -> int:
-        return self._live
+        return self._seq - self._nfired - self._ncancelled
 
     @property
     def live(self) -> int:
         """Number of live (non-cancelled, unfired) events queued."""
-        return self._live
+        return self._seq - self._nfired - self._ncancelled
 
     @property
     def empty(self) -> bool:
         """True when no live events remain."""
-        return self._live == 0
+        return self._seq - self._nfired - self._ncancelled == 0
+
+    @property
+    def _heap(self) -> _PhysicalView:
+        """Legacy physical-storage view (``len`` counts live + stale
+        slots, exactly like the reference kernel's backing heap)."""
+        return _PhysicalView(self)
 
     def live_events(self) -> List[KernelEvent]:
         """Snapshot of pending live events in dispatch order (O(n log n);
         for introspection and façades, not the hot path)."""
-        return sorted(e for e in self._heap if not e.cancelled)
+        items = [it for it in self._batch if not it[_STATE]]
+        items += [it for it in self._data if not it[_STATE]]
+        items.sort()
+        return [it[_HANDLE] or self._handle(it) for it in items]
 
     # -- scheduling -----------------------------------------------------
+
+    def _handle(self, item: list) -> KernelEvent:
+        """Materialize (and memoize) the view handle for a slot."""
+        ev = KernelEvent.__new__(KernelEvent)
+        ev._item = item
+        ev._kernel = self._weakself
+        item[_HANDLE] = ev
+        return ev
+
+    def _causality_error(self, time: float, fn: Callable[..., Any]) -> ReproError:
+        site = getattr(fn, "__qualname__", None) or repr(fn)
+        return ReproError(
+            f"cannot schedule event at {time} before current time "
+            f"{self.current_time} (causality violation; "
+            f"scheduled from {site})"
+        )
+
+    def post(self, time: float, fn: Callable[..., Any], args: tuple = (),
+             category: str = "", flow: Optional[str] = None) -> list:
+        """Queue ``fn(*args)`` at ``time``; returns the raw slot.
+
+        The no-handle fast path: allocates only the slot list.  The slot
+        is accepted by :meth:`cancel_slot`; wrap it via ``slot[-1]`` /
+        :meth:`live_events` only if a :class:`KernelEvent` is needed.
+        ``args`` must be a tuple (it is splatted at dispatch).
+        """
+        if time < self.current_time and self.causality:
+            raise self._causality_error(time, fn)
+        seq = self._seq
+        self._seq = seq + 1
+        item = [time, seq, 0, fn, args, category, flow, None]
+        self._data.append(item)
+        hooks = self.hooks
+        if hooks.hot and hooks.on_schedule:
+            ev = self._handle(item)
+            for h in hooks.on_schedule:
+                h(self, ev)
+        return item
+
+    def post_batch(self, times: Iterable[float], fn: Callable[..., Any],
+                   args: tuple = (), category: str = "",
+                   flow: Optional[str] = None) -> List[list]:
+        """Queue one event per entry of ``times``, all sharing
+        ``fn``/``args``/labels; returns the raw slots in posted order.
+
+        This is the bulk ingress for event-compiled flows and benches:
+        the slot construction is a single list comprehension and the
+        causality check one C-level ``min()`` scan, so per-event cost is
+        a fraction of :meth:`schedule`.
+        """
+        seq = self._seq
+        items = [[t, s, 0, fn, args, category, flow, None]
+                 for s, t in enumerate(times, seq)]
+        if not items:
+            return items
+        if self.causality and min(items)[_TIME] < self.current_time:
+            bad = min(it[_TIME] for it in items)
+            raise self._causality_error(bad, fn)
+        self._seq = seq + len(items)
+        self._data.extend(items)
+        hooks = self.hooks
+        if hooks.hot and hooks.on_schedule:
+            for item in items:
+                ev = item[_HANDLE] or self._handle(item)
+                for h in hooks.on_schedule:
+                    h(self, ev)
+        return items
 
     def schedule(self, time: float, fn: Callable[..., Any], *args: Any,
                  category: str = "", flow: Optional[str] = None
                  ) -> KernelEvent:
         """Schedule ``fn(*args)`` to run at virtual time ``time``."""
-        if self.causality and time < self.current_time:
-            site = getattr(fn, "__qualname__", None) or repr(fn)
-            raise ReproError(
-                f"cannot schedule event at {time} before current time "
-                f"{self.current_time} (causality violation; "
-                f"scheduled from {site})"
-            )
-        # Inline KernelEvent.__init__ (kept in sync with it): schedule
-        # is the hottest allocation site in the tree, and the extra call
-        # frame alone is measurable against the pre-kernel loop.
-        ev = KernelEvent.__new__(KernelEvent)
-        ev.time = time
-        ev.seq = next(self._counter)
-        ev.fn = fn
-        ev.args = args
-        ev.category = category
-        ev.flow = flow
-        ev.cancelled = False
-        ev.fired = False
-        ev._kernel = self._weakself
-        heappush(self._data, ev)
-        self._live += 1
-        hooks = self.hooks
-        if hooks.hot and hooks.on_schedule:
-            for h in hooks.on_schedule:
-                h(self, ev)
-        return ev
+        item = self.post(time, fn, args, category, flow)
+        return item[_HANDLE] or self._handle(item)
 
-    def _note_cancel(self, ev: KernelEvent) -> None:
-        """Called by :meth:`KernelEvent.cancel` exactly once per event."""
-        self._live -= 1
-        self._stale += 1
+    # -- cancellation ---------------------------------------------------
+
+    def cancel_slot(self, item: list) -> bool:
+        """Cancel one slot (as returned by :meth:`post`).  Returns True
+        if the slot was live; cancelling a fired or already-cancelled
+        slot is a no-op returning False."""
+        if item[_STATE]:
+            return False
+        item[_STATE] = 1
+        self._ncancelled += 1
         hooks = self.hooks
         if hooks.hot and hooks.on_cancel:
+            ev = item[_HANDLE] or self._handle(item)
             for h in hooks.on_cancel:
                 h(self, ev)
-        # Batched compaction: only when stale entries dominate the heap,
-        # so each cancelled event is rebuilt over at most once (amortized
-        # O(log n) per cancel).  Keys are unique (time, seq) pairs, so
-        # rebuilding cannot reorder the survivors.
-        if (self._stale >= _SWEEP_MIN_STALE
-                and self._stale * 2 >= len(self._heap)):
-            self._heap.rebuild(e for e in self._heap if not e.cancelled)
-            self._stale = 0
+        # Batched compaction: only when stale slots dominate physical
+        # storage, so each cancelled slot is filtered over at most once
+        # (amortized O(1) per cancel).  The threshold is evaluated every
+        # 8th cancel to keep this path branch-cheap.
+        self._stale_est = s = self._stale_est + 1
+        if (not s & 7 and s >= _SWEEP_MIN_STALE
+                and s * 2 >= len(self._data) + len(self._batch)):
+            self._compact()
+        return True
+
+    def cancel_slots(self, items: Iterable[list]) -> int:
+        """Bulk-cancel slots (POSE rollback, timer storms); returns the
+        number that were still live."""
+        n = 0
+        hooks = self.hooks
+        hot = hooks.hot and hooks.on_cancel
+        for item in items:
+            if item[_STATE]:
+                continue
+            item[_STATE] = 1
+            n += 1
+            if hot:
+                ev = item[_HANDLE] or self._handle(item)
+                for h in hooks.on_cancel:
+                    h(self, ev)
+        if n:
+            self._ncancelled += n
+            self._stale_est = s = self._stale_est + n
+            if (s >= _SWEEP_MIN_STALE
+                    and s * 2 >= len(self._data) + len(self._batch)):
+                self._compact()
+        return n
+
+    def _compact(self) -> None:
+        """Drop stale (cancelled/fired) slots from both containers.
+        Keys are unique ``(time, seq)`` pairs and the filters preserve
+        relative order, so survivors cannot be reordered."""
+        if self._running:
+            # The drain loop owns the batch (and may hold a live
+            # iterator over it); stale slots it passes are dropped with
+            # the batch anyway, so compaction just waits for idle.
+            return
+        data = self._data
+        data[:] = [it for it in data if not it[_STATE]]
+        batch = self._batch
+        batch[:] = [it for it in batch if not it[_STATE]]
+        self._stale_est = 0
 
     # -- dispatch -------------------------------------------------------
 
+    def _refill(self) -> None:
+        """Merge arrivals into the sorted batch (descending: earliest
+        event last, where ``pop()`` is O(1))."""
+        data = self._data
+        if data:
+            batch = self._batch
+            if batch:
+                data.extend(batch)
+                batch.clear()
+            data.sort(reverse=True)
+            batch[:] = data
+            data.clear()
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None."""
-        raw = self._data
-        while raw:
-            ev = raw[0]
-            if not ev.cancelled:
-                return ev.time
-            heappop(raw)
-            self._stale -= 1
+        batch = self._batch
+        if self._running:
+            # Mid-dispatch: scan without mutating — the drain loop owns
+            # the batch iterator.
+            best = None
+            for item in reversed(batch):
+                if not item[_STATE]:
+                    best = item[_TIME]
+                    break
+            for item in self._data:
+                if not item[_STATE] and (best is None or item[_TIME] < best):
+                    best = item[_TIME]
+            return best
+        self._refill()
+        while batch:
+            item = batch[-1]
+            if not item[_STATE]:
+                return item[_TIME]
+            batch.pop()
         return None
 
     def step(self) -> bool:
         """Pop and run the next live event.  Returns False if queue empty."""
-        raw = self._data
-        while True:
-            if not raw:
-                return False
-            ev = heappop(raw)
-            if ev.cancelled:
-                self._stale -= 1
-                continue
-            break
-        ev.fired = True
-        self._live -= 1
-        self.current_time = ev.time
+        if self._running:
+            raise ReproError("step() re-entered during run()")
+        batch = self._batch
+        self._refill()
+        while batch:
+            item = batch.pop()
+            if not item[_STATE]:
+                break
+        else:
+            return False
+        self._dispatch_one(item)
+        return True
+
+    def _dispatch_one(self, item: list) -> None:
+        """Fire one slot with full per-event (reference) semantics."""
+        item[_STATE] = 2
+        self._nfired += 1
+        self.current_time = item[_TIME]
         self.events_processed += 1
         self._skip = False
         self._dispatching = True
         hooks = self.hooks
         hot = hooks.hot
         if hot and hooks.on_dispatch_begin:
+            ev = item[_HANDLE] or self._handle(item)
             for h in hooks.on_dispatch_begin:
                 h(self, ev)
         try:
-            ev.fn(*ev.args)
+            a = item[_ARGS]
+            if a:
+                item[_FN](*a)
+            else:
+                item[_FN]()
         finally:
             self._dispatching = False
             if hot and hooks.on_dispatch_end:
+                ev = item[_HANDLE] or self._handle(item)
                 for h in hooks.on_dispatch_end:
                     h(self, ev)
-        return True
+        if self._skip:
+            self.events_processed -= 1
 
     def skip_current(self) -> None:
         """Declare the event being dispatched void: it counts neither
@@ -251,9 +494,28 @@ class EventKernel:
         """
         if not self._dispatching:
             raise ReproError("skip_current() outside event dispatch")
-        if not self._skip:
-            self._skip = True
-            self.events_processed -= 1
+        self._skip = True
+
+    def run_batch(self, max_events: Optional[int] = None) -> int:
+        """Dispatch up to ``max_events`` events (all, when None) through
+        the batched inner loop, *without* the quiescence protocol.
+
+        This is the raw fast path: equivalent to
+        ``run(RunPolicy(max_events=..., quiescence=False))`` but named
+        for callers (the thread→event compiler's emitted loops) that
+        want the batch semantics explicit.  Returns the number of
+        events dispatched (skipped events are free).
+        """
+        if self._running:
+            raise ReproError("run_batch() re-entered during run()")
+        self._running = True
+        try:
+            if max_events is None and not self.hooks.hot:
+                return self._drain_cold()
+            processed, _cut = self._run_guarded(None, max_events)
+            return processed
+        finally:
+            self._running = False
 
     def run(self, policy: Optional[RunPolicy] = None, *,
             until: Optional[float] = None,
@@ -270,65 +532,160 @@ class EventKernel:
         re-arm work (return True after scheduling) and the loop resumes;
         only when the queue stays empty do the ``on_quiescence`` hooks
         fire and the call return.
+
+        ``run()`` is not re-entrant on a single kernel: calling it (or
+        ``run_batch``/``step``) from inside a dispatched callback raises
+        :class:`~repro.errors.ReproError` rather than corrupting the
+        batch mid-iteration.  Drive nested work by scheduling events.
         """
+        if self._running:
+            raise ReproError("run() re-entered during run()")
         if policy is None:
             policy = RunPolicy(until=until, max_events=max_events)
-        processed = 0
-        # Hot loop: this inlines peek_time() + step() (kept in sync with
-        # them) with the policy's fields as locals — at bench scale the
-        # per-event method calls are the difference between matching the
-        # pre-kernel loop's throughput and trailing it by ~10%.  ``raw``
-        # stays valid across sweeps because rebuild() mutates in place.
         bound = policy.until
         budget = policy.max_events
-        raw = self._data
-        hooks = self.hooks
-        while True:
+        processed = 0
+        self._running = True
+        try:
             while True:
-                if budget is not None and processed >= budget:
-                    return processed
-                while raw:
-                    ev = raw[0]
-                    if not ev.cancelled:
-                        break
-                    heappop(raw)
-                    self._stale -= 1
+                if bound is None and budget is None and not self.hooks.hot:
+                    processed += self._drain_cold()
                 else:
-                    break
-                if bound is not None and ev.time > bound:
+                    left = None if budget is None else budget - processed
+                    n, cut = self._run_guarded(bound, left)
+                    processed += n
+                    if cut:
+                        return processed
+                # Queue drained: quiescence protocol (hooks may re-arm).
+                if not policy.quiescence:
                     return processed
-                heappop(raw)
-                ev.fired = True
-                self._live -= 1
-                self.current_time = ev.time
-                self.events_processed += 1
-                self._skip = False
-                self._dispatching = True
-                if hooks.hot and hooks.on_dispatch_begin:
-                    for h in hooks.on_dispatch_begin:
-                        h(self, ev)
-                try:
-                    ev.fn(*ev.args)
-                finally:
-                    self._dispatching = False
-                    if hooks.hot and hooks.on_dispatch_end:
-                        for h in hooks.on_dispatch_end:
-                            h(self, ev)
-                if not self._skip:
-                    processed += 1
-            if not policy.quiescence:
+                hooks = self.hooks
+                pumped = False
+                for h in list(hooks.on_idle):
+                    if h(self):
+                        pumped = True
+                if pumped and self._seq - self._nfired - self._ncancelled:
+                    continue
+                for h in list(hooks.on_quiescence):
+                    h(self)
                 return processed
-            hooks = self.hooks
-            pumped = False
-            for h in list(hooks.on_idle):
-                if h(self):
-                    pumped = True
-            if pumped and self._live:
+        finally:
+            self._running = False
+
+    def _drain_cold(self) -> int:
+        """The hooks-off, unbounded drain: the throughput path.
+
+        No per-event hook checks, policy evaluation, handle allocation,
+        or method calls — just sort, walk, call.  ``_dispatching`` is
+        held for the whole drain (batch-granular; see module docstring).
+        """
+        data = self._data
+        batch = self._batch
+        processed = 0
+        fired = 0
+        self._skip = False      # clear residue from a prior skipped event
+        self._dispatching = True
+        try:
+            while True:
+                if data:
+                    if batch:
+                        # Merge an interrupted batch's remainder back in.
+                        data.extend(batch)
+                        batch.clear()
+                    data.sort(reverse=True)
+                    batch[:] = data
+                    data.clear()
+                elif not batch:
+                    break
+                for item in reversed(batch):
+                    if item[_STATE]:
+                        continue          # cancelled (or consumed) slot
+                    if data:
+                        break             # arrivals: merge, then resume
+                    self.current_time = item[_TIME]
+                    item[_STATE] = 2
+                    fired += 1
+                    processed += 1
+                    a = item[_ARGS]
+                    if a:
+                        item[_FN](*a)
+                    else:
+                        item[_FN]()
+                    if self._skip:
+                        self._skip = False
+                        processed -= 1
+                else:
+                    batch.clear()
+                    continue
+                # Interrupted mid-batch: keep only live slots (order
+                # preserved) and loop back to merge the arrivals.
+                batch[:] = [it for it in batch if not it[_STATE]]
+        finally:
+            self._dispatching = False
+            self._nfired += fired
+            self.events_processed += processed
+        return processed
+
+    def _run_guarded(self, bound: Optional[float],
+                     budget: Optional[int]) -> tuple:
+        """The instrumented/bounded loop: full per-event reference
+        semantics (hooks, ``until``/``max_events`` cuts, per-event
+        ``_dispatching``), byte-identical traces to ``refkernel``.
+
+        Returns ``(processed, cut)`` where ``cut`` is True when a
+        policy bound stopped the loop with work still queued.
+        """
+        data = self._data
+        batch = self._batch
+        hooks = self.hooks
+        processed = 0
+        while True:
+            if budget is not None and processed >= budget:
+                return processed, True
+            if data:
+                if batch:
+                    data.extend(batch)
+                    batch.clear()
+                data.sort(reverse=True)
+                batch[:] = data
+                data.clear()
+            if not batch:
+                return processed, False
+            item = batch[-1]
+            if item[_STATE]:
+                batch.pop()
                 continue
-            for h in list(hooks.on_quiescence):
-                h(self)
-            return processed
+            if bound is not None and item[_TIME] > bound:
+                return processed, True
+            batch.pop()
+            item[_STATE] = 2
+            self._nfired += 1
+            self.current_time = item[_TIME]
+            self.events_processed += 1
+            self._skip = False
+            self._dispatching = True
+            hot = hooks.hot
+            if hot and hooks.on_dispatch_begin:
+                ev = item[_HANDLE] or self._handle(item)
+                for h in hooks.on_dispatch_begin:
+                    h(self, ev)
+            try:
+                a = item[_ARGS]
+                if a:
+                    item[_FN](*a)
+                else:
+                    item[_FN]()
+            finally:
+                self._dispatching = False
+                if hot and hooks.on_dispatch_end:
+                    ev = item[_HANDLE] or self._handle(item)
+                    for h in hooks.on_dispatch_end:
+                        h(self, ev)
+            if self._skip:
+                self.events_processed -= 1
+            else:
+                processed += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<EventKernel {self.name} t={self.current_time:.1f} "
-                f"live={self._live} processed={self.events_processed}>")
+                f"live={self.live} processed={self.events_processed}>")

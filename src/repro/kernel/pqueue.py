@@ -6,9 +6,10 @@ source tree (enforced by the KRN001 lint rule and the tier-1 gate in
 heap — load-balancing strategies, future schedulers — goes through
 :class:`MinHeap` so the ordering discipline (and any future replacement
 of the backing structure) lives in one place.  Within the kernel
-package, the event core's dispatch loop uses the re-exported
-``heappush``/``heappop`` directly on :attr:`MinHeap.data` — the method
-wrappers cost more than the dispatch bookkeeping they would guard.
+package, the frozen reference kernel (:mod:`repro.kernel.refkernel`)
+uses the re-exported ``heappush``/``heappop`` directly on
+:attr:`MinHeap.data`; the fast-path event core replaced its heap with
+batched sorted slots and no longer goes through this module.
 """
 
 from __future__ import annotations

@@ -18,6 +18,12 @@ Output formats:
   dispatched / skipped / cancelled, context switches (``cth.resume``
   dispatches), messages (``net.*`` dispatches), quiescence count, and
   total virtual idle time between dispatches.
+
+Record construction is **lazy**: a tracer built with ``record=False``
+maintains only the counters and never allocates a trace-record dict —
+``entries`` stays empty and ``dump``/``timeline`` report nothing.  Use
+it when a run only needs the aggregate numbers (long benches, CI
+smokes) and the per-event log would be dead weight.
 """
 
 from __future__ import annotations
@@ -31,9 +37,18 @@ __all__ = ["KernelTracer"]
 
 
 class KernelTracer:
-    """Structured event log + counters for one :class:`EventKernel`."""
+    """Structured event log + counters for one :class:`EventKernel`.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    record:
+        When True (the default), build one entry dict per lifecycle
+        point into :attr:`entries`.  When False, keep counters only:
+        no per-event allocation happens anywhere in the tracer.
+    """
+
+    def __init__(self, record: bool = True) -> None:
+        self.record = record
         self.entries: List[Dict[str, Any]] = []
         self.counters: Dict[str, Any] = {
             "scheduled": 0,
@@ -110,19 +125,22 @@ class KernelTracer:
 
     def _on_schedule(self, kernel, ev) -> None:
         self.counters["scheduled"] += 1
-        self._entry("schedule", kernel, ev)
+        if self.record:
+            self._entry("schedule", kernel, ev)
 
     def _on_begin(self, kernel, ev) -> None:
-        self._entry("begin", kernel, ev)
+        if self.record:
+            self._entry("begin", kernel, ev)
         if self._last_end_time is not None and ev.time > self._last_end_time:
             self.counters["idle_ns"] += ev.time - self._last_end_time
 
     def _on_end(self, kernel, ev) -> None:
-        entry = self._entry("end", kernel, ev)
+        entry = self._entry("end", kernel, ev) if self.record else None
         self._last_end_time = ev.time
         c = self.counters
         if kernel._skip:
-            entry["skipped"] = True
+            if entry is not None:
+                entry["skipped"] = True
             c["skipped"] += 1
             return
         c["dispatched"] += 1
@@ -136,15 +154,18 @@ class KernelTracer:
 
     def _on_cancel(self, kernel, ev) -> None:
         self.counters["cancelled"] += 1
-        self._entry("cancel", kernel, ev)
+        if self.record:
+            self._entry("cancel", kernel, ev)
 
     def _on_idle(self, kernel) -> bool:
-        self._entry("idle", kernel)
+        if self.record:
+            self._entry("idle", kernel)
         return False  # observation only: never re-arms work
 
     def _on_quiescence(self, kernel) -> None:
         self.counters["quiescences"] += 1
-        self._entry("quiescence", kernel)
+        if self.record:
+            self._entry("quiescence", kernel)
 
     # -- reports --------------------------------------------------------
 

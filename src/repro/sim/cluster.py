@@ -46,6 +46,12 @@ class Cluster:
         #: cluster, so identical runs in one host process get identical
         #: ids (replay/fingerprint comparisons may key on msg_id).
         self._next_msg_id = 0
+        #: Interned instrumentation labels: every send used to build
+        #: fresh ``f"net.{tag}"`` / ``f"pe{dst}"`` strings, a measurable
+        #: slice of the per-message cost.  Tag and destination spaces
+        #: are tiny, so both caches stay a handful of entries.
+        self._net_categories: dict = {}
+        self._flow_labels: dict = {}
 
     def __len__(self) -> int:
         return len(self.processors)
@@ -88,11 +94,19 @@ class Cluster:
         # arrivals deterministically.  Unsubscribed, the list passes
         # through untouched.
         arrivals = self.queue.hooks.filter("net.send", [arrival], msg=msg)
-        category = f"net.{tag or 'raw'}"
+        category = self._net_categories.get(tag)
+        if category is None:
+            category = self._net_categories[tag] = f"net.{tag or 'raw'}"
+        flow = self._flow_labels.get(dst)
+        if flow is None:
+            flow = self._flow_labels[dst] = f"pe{dst}"
+        cur = self.queue.current_time
+        deliver = receiver.deliver
+        post = self.queue.post
         for t in arrivals:
-            t = max(t, self.queue.current_time)
-            self.queue.schedule(t, receiver.deliver, msg, t,
-                                category=category, flow=f"pe{dst}")
+            if t < cur:
+                t = cur
+            post(t, deliver, (msg, t), category, flow)
         return msg
 
     def at(self, proc_id: int, time: float, fn: Callable[..., Any],

@@ -67,6 +67,16 @@ class EventQueue:
         return self.kernel.schedule(time, fn, *args,
                                     category=category, flow=flow)
 
+    def post(self, time: float, fn: Callable[..., Any], args: tuple = (),
+             category: str = "", flow: Optional[str] = None) -> list:
+        """Handle-free fast scheduling (see :meth:`EventKernel.post`)."""
+        return self.kernel.post(time, fn, args, category, flow)
+
+    def post_batch(self, times, fn: Callable[..., Any], args: tuple = (),
+                   category: str = "", flow: Optional[str] = None) -> list:
+        """Bulk handle-free scheduling (see :meth:`EventKernel.post_batch`)."""
+        return self.kernel.post_batch(times, fn, args, category, flow)
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None."""
         return self.kernel.peek_time()

@@ -101,6 +101,62 @@ def test_reentrant_scheduling_from_a_handler(kernel):
     assert kernel.empty
 
 
+def test_cancel_heavy_lazy_sweep(kernel):
+    """Cancel two thirds of a large schedule (with double-cancels):
+    the lazy-cancellation sweep must drop the stale entries without
+    perturbing survivor order or the O(1) live count."""
+    t = kernel.current_time
+    fired = []
+    evs = [kernel.schedule(t + float(i % 13), fired.append, i)
+           for i in range(300)]
+    for i, ev in enumerate(evs):
+        if i % 3:
+            ev.cancel()
+    for ev in evs[1::30]:               # double-cancel a sample: no-ops
+        ev.cancel()
+    survivors = [i for i in range(300) if i % 3 == 0]
+    assert len(kernel) == len(survivors)
+    assert kernel.run() == len(survivors)
+    assert fired == sorted(survivors, key=lambda i: (i % 13, i))
+    assert kernel.empty
+    for i, ev in enumerate(evs):
+        assert ev.fired == (i % 3 == 0)
+        assert ev.cancelled == (i % 3 != 0)
+
+
+def test_skip_current_heavy(kernel):
+    """Mostly-skipped dispatch: skipped events execute but count
+    neither in run()'s return, events_processed, nor a budget."""
+    t = kernel.current_time
+    fired = []
+
+    def skipper(i):
+        fired.append(i)
+        kernel.skip_current()
+
+    def keeper(i):
+        fired.append(i)
+
+    for i in range(40):
+        kernel.schedule(t + float(i), skipper if i % 4 else keeper, i)
+    before = kernel.events_processed
+    assert kernel.run() == 10           # only the 10 keepers count
+    assert fired == list(range(40))     # but every event executed
+    assert kernel.events_processed - before == 10
+
+    # Budget interaction: skipped events are free against max_events.
+    fired.clear()
+    base = kernel.current_time
+    for i in range(12):
+        kernel.schedule(base + 1.0 + i, skipper if i % 2 else keeper,
+                        100 + i)
+    assert kernel.run(max_events=3) == 3
+    assert fired == [100, 101, 102, 103, 104]
+    assert len(kernel) == 7
+    assert kernel.run() == 3            # drain the rest: 3 more keepers
+    assert kernel.empty
+
+
 def test_quiescence_exactness(kernel):
     quiesced = []
     fn = kernel.hooks.subscribe("on_quiescence", quiesced.append)

@@ -43,3 +43,26 @@ def test_checked_in_baseline_is_complete():
     assert benches["exec_overhead"]["ns_per_cell"] > 0
     assert benches["lint_flow"]["ns_per_file"] > 0
     assert benches["lint_flow"]["files"] > 60
+
+
+def test_fast_path_kernel_baselines_recorded():
+    """The regenerated baseline must carry fast-path-era numbers.
+
+    The PR-5 baseline measured the reference kernel at ~2588 ns/event
+    dispatch and ~2034 ns/event cancel-drain; the fast-path rebuild
+    gated a ≥5× improvement on both cells.  Asserting loose absolute
+    ceilings (not the full 5×) keeps this a drift guard rather than a
+    host-speed assertion: the >20% regression gate in bench_all.py can
+    only grow a rewritten baseline slowly, and blowing past these
+    ceilings would mean the fast path was lost, not that CI was busy.
+    """
+    with open(BASELINE) as fh:
+        benches = json.load(fh)["benches"]
+    dispatch = benches["kernel_dispatch"]
+    cancel = benches["kernel_cancel"]
+    assert dispatch["events"] == 20_000
+    assert cancel["events"] == 20_000
+    assert dispatch["ns_per_event"] < 1000, \
+        "kernel_dispatch baseline regressed to pre-fast-path territory"
+    assert cancel["ns_per_event"] < 800, \
+        "kernel_cancel baseline regressed to pre-fast-path territory"

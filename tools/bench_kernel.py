@@ -16,10 +16,17 @@ Writes ``results/kernel_bench.json`` including the two acceptance
 checks: kernel dispatch throughput no worse than the legacy queue
 (within noise), and tracing-off overhead below 5%.
 
-Run:  PYTHONPATH=src python tools/bench_kernel.py
+``--compare ref`` switches the baseline from the pre-kernel legacy
+queue to the frozen reference kernel (:mod:`repro.kernel.refkernel`)
+and emits a ref-vs-fast A/B table instead: the ``schedule()``-API fast
+path, and the bulk ``post_batch``/``cancel_slots`` fast path, each as a
+speedup over the reference implementation.
+
+Run:  PYTHONPATH=src python tools/bench_kernel.py [--compare ref]
 """
 
 import argparse
+import gc
 import heapq  # migralint: disable=KRN001  (legacy baseline, bench only)
 import itertools
 import json
@@ -118,13 +125,23 @@ def best_of_interleaved(repeats, thunks):
     separate phases, so machine drift (thermal, co-tenants) lands on all
     of them equally — measuring them minutes apart swings the comparison
     by more than the effect being measured.
+
+    The collector is paused around each timed thunk (as ``timeit`` does):
+    at a few hundred thousand queued events, generational collections
+    triggered by *earlier* rounds' garbage otherwise land inside whichever
+    contender happens to be on the clock.
     """
     best = {name: float("inf") for name in thunks}
     for _ in range(repeats):
         for name, fn in thunks.items():
-            t0 = time.perf_counter()
-            fn()
-            best[name] = min(best[name], time.perf_counter() - t0)
+            gc.collect()
+            gc.disable()
+            try:
+                t0 = time.perf_counter()
+                fn()
+                best[name] = min(best[name], time.perf_counter() - t0)
+            finally:
+                gc.enable()
     return best
 
 
@@ -183,6 +200,80 @@ def make_traced_kernel():
     return k
 
 
+# ---------------------------------------------------------------------------
+# --compare ref: frozen reference kernel vs the fast path
+# ---------------------------------------------------------------------------
+
+def run_ref_compare(args):
+    """A/B the fast path against ``repro.kernel.refkernel``."""
+    from repro.kernel.refkernel import EventKernel as RefKernel
+
+    n = args.events
+    times = [float(i) for i in range(n)]
+
+    def disp_schedule(make):
+        q = make()
+        for t in times:
+            q.schedule(t, _noop)
+        q.run()
+
+    def disp_batch():
+        k = make_kernel()
+        k.post_batch(times, _noop)
+        k.run()
+
+    disp = best_of_interleaved(args.repeats, {
+        "ref": lambda: disp_schedule(lambda: RefKernel(name="bench")),
+        "fast_schedule": lambda: disp_schedule(make_kernel),
+        "fast_batch": disp_batch,
+    })
+
+    def cancel_schedule(make):
+        q = make()
+        evs = [q.schedule(t, _noop) for t in times]
+        for ev in evs[::2]:
+            ev.cancel()
+        q.run()
+
+    def cancel_batch():
+        k = make_kernel()
+        items = k.post_batch(times, _noop)
+        k.cancel_slots(items[::2])
+        k.run()
+
+    canc = best_of_interleaved(args.repeats, {
+        "ref": lambda: cancel_schedule(lambda: RefKernel(name="bench")),
+        "fast_schedule": lambda: cancel_schedule(make_kernel),
+        "fast_batch": cancel_batch,
+    })
+
+    def table(best):
+        ref_ns = best["ref"] * 1e9 / n
+        rows = {}
+        for name, dt in best.items():
+            ns = dt * 1e9 / n
+            rows[name] = {"ns_per_event": round(ns, 1),
+                          "events_per_s": round(n / dt),
+                          "speedup_vs_ref": round(ref_ns / ns, 2)}
+        return rows
+
+    report = {
+        "mode": "ref",
+        "config": {"events": n, "repeats": args.repeats},
+        "dispatch": table(disp),
+        "cancel_50pct": table(canc),
+        "acceptance": {
+            "fast_schedule_no_worse_than_ref":
+                disp["fast_schedule"] <= disp["ref"] * 1.05,
+            "fast_batch_dispatch_ge_5x_ref":
+                disp["ref"] / disp["fast_batch"] >= 5.0,
+            "fast_batch_cancel_ge_5x_ref":
+                canc["ref"] / canc["fast_batch"] >= 5.0,
+        },
+    }
+    return report
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--events", type=int, default=200_000,
@@ -191,9 +282,24 @@ def main(argv=None):
                     help="queued events during len() polling")
     ap.add_argument("--polls", type=int, default=10_000)
     ap.add_argument("--repeats", type=int, default=5)
+    ap.add_argument("--compare", choices=("legacy", "ref"), default="legacy",
+                    help="baseline: the pre-kernel legacy queue (default) "
+                         "or the frozen reference kernel (ref-vs-fast A/B)")
     ap.add_argument("--out", default=os.path.join(
         os.path.dirname(__file__), "..", "results", "kernel_bench.json"))
     args = ap.parse_args(argv)
+
+    if args.compare == "ref":
+        report = run_ref_compare(args)
+        out = os.path.abspath(args.out)
+        os.makedirs(os.path.dirname(out), exist_ok=True)
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(json.dumps(report, indent=2, sort_keys=True))
+        ok = all(report["acceptance"].values())
+        print(f"\nacceptance: {'PASS' if ok else 'FAIL'}  ({out})")
+        return 0 if ok else 1
 
     makers = {"legacy": LegacyEventQueue, "kernel": make_kernel,
               "traced": make_traced_kernel}
@@ -212,6 +318,7 @@ def main(argv=None):
     overhead_traced = (kernel_eps - traced_eps) / kernel_eps * 100.0
 
     report = {
+        "mode": "legacy",
         "config": {"events": args.events, "pending": args.pending,
                    "polls": args.polls, "repeats": args.repeats},
         "dispatch": {
