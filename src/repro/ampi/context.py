@@ -93,6 +93,25 @@ class AmpiContext:
         size = wire_size(data) if size_bytes is None else size_bytes
         self.runtime._send(self.rank, dest, data, tag, size)
 
+    def send_many(self, items) -> None:
+        """Buffered send to several ranks in one call.
+
+        ``items`` is a sequence of ``(dest, data, tag, size_bytes)``
+        tuples (``size_bytes`` may be None to derive from the data).
+        Semantically a :meth:`send` loop — same charges, same message
+        order — but the runtime batches runs of off-processor messages
+        into one bulk network post, the producer-side fast path for
+        exchange patterns like BigSim's per-step ghost scatter.
+        """
+        prepared = []
+        for dest, data, tag, size_bytes in items:
+            if not 0 <= dest < self.size:
+                raise AmpiError(
+                    f"send to bad rank {dest} (size {self.size})")
+            size = wire_size(data) if size_bytes is None else size_bytes
+            prepared.append((dest, data, tag, size))
+        self.runtime._send_many(self.rank, prepared)
+
     def recv(self, source: int = ANY_SOURCE, tag: Any = ANY_TAG,
              ) -> Generator[Any, Any, Any]:
         """Blocking receive; suspends the rank's thread until a match.

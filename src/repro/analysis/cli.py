@@ -7,11 +7,13 @@ Exit codes follow lint-tool convention:
 * ``2`` — usage error (no paths, unknown rule id, missing path).
 
 One subcommand rides alongside the positional-paths lint interface:
-``python -m repro.analysis flowreport [--json] [--out FILE]`` renders
-the thread→event compilability report (see
-:mod:`repro.analysis.flow.report`).  ``flowreport`` always exits 0 on a
-successful run — it is a contract document, not a gate; the FLW rules
-are the gating face of the same analysis.
+``python -m repro.analysis flowreport [--json] [--out FILE] [--check]``
+renders the thread→event compilability report (see
+:mod:`repro.analysis.flow.report`).  Plain ``flowreport`` exits 0 on a
+successful run — it is a contract document; with ``--check`` it becomes
+a gate and exits 2 when any scanned body is not COMPILABLE, naming the
+offenders (the CI face of the compiler's input contract: every thread
+body the tree ships must lower to continuations).
 """
 
 from __future__ import annotations
@@ -48,6 +50,10 @@ def flowreport_main(argv: Sequence[str]) -> int:
     parser.add_argument("--root", metavar="DIR",
                         help="repo root to scan (default: derived from "
                              "the installed package location)")
+    parser.add_argument("--check", action="store_true",
+                        help="gate mode: exit 2 if any scanned body is "
+                             "not COMPILABLE (scriptable from CI; see "
+                             "EXPERIMENTS.md)")
     try:
         args = parser.parse_args(argv)
     except SystemExit as e:
@@ -60,6 +66,24 @@ def flowreport_main(argv: Sequence[str]) -> int:
         sys.stdout.write(render_flow_json(doc))
     else:
         sys.stdout.write(render_flow_human(doc))
+    if args.check:
+        bad = [b for b in doc["bodies"]
+               if b["classification"] != "COMPILABLE"]
+        if bad:
+            print(f"flowreport --check: {len(bad)} body(ies) not "
+                  f"COMPILABLE:", file=sys.stderr)
+            for b in bad:
+                why = "; ".join(
+                    [f"{blk['rule']} {blk['kind']} (line {blk['line']})"
+                     for blk in b.get("blockers", [])]
+                    + list(b.get("opaque", []))) or "unclassified"
+                print(f"  {b['path']}:{b['line']} {b['qualname']} "
+                      f"[{b['classification']}] {why}",
+                      file=sys.stderr)
+            return EXIT_USAGE
+        print(f"flowreport --check: all "
+              f"{doc['summary']['bodies']} bodies COMPILABLE",
+              file=sys.stderr)
     return EXIT_CLEAN
 
 

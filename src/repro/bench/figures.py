@@ -12,7 +12,7 @@ from repro.core.isomalloc import IsomallocArena
 from repro.core.stacks import (IsomallocStacks, MemoryAliasStacks,
                                StackCopyStacks)
 from repro.errors import OSLimitError, OutOfPhysicalMemory, \
-    OutOfVirtualAddressSpace
+    OutOfVirtualAddressSpace, ReproError
 from repro.flows import (AmpiThreadFlow, KernelThreadFlow, ProcessFlow,
                          UserThreadFlow)
 from repro.sim import Processor, get_platform
@@ -20,7 +20,8 @@ from repro.workloads.btmz import BTMZConfig, BTMZResult, run_btmz
 from repro.workloads.md import MDConfig, MDWorkload
 
 __all__ = ["FIGURE_PLATFORMS", "FLOW_GRID", "STACK_SIZES",
-           "context_switch_series", "stack_size_series",
+           "context_switch_cell", "context_switch_series",
+           "stack_size_series",
            "minimal_swap_rows", "bigsim_series", "btmz_series",
            "full_scale"]
 
@@ -50,9 +51,47 @@ def full_scale() -> bool:
 # Figures 4-8: context switch time vs number of flows
 # ---------------------------------------------------------------------------
 
+#: Figure 4-8 series order (and the per-cell fan-out grain).
+_FIGURE_MECHS = ("process", "pthread", "cth", "ampi")
+
+
+def context_switch_cell(params: Dict, seed) -> Dict:
+    """Executor worker: one mechanism's Figure 4-8 series on one platform.
+
+    ``params = {"platform": str, "mechanism": label, "grid": [int...],
+    "rounds": int}`` → ``{"mechanism": label, "ys": [µs-or-None...]}``.
+    One cell per mechanism keeps a limit crash (a mechanism refusing
+    creation is the *point* of the figure) contained to its own series.
+    """
+    from repro.flows import MECHANISMS
+    cls = MECHANISMS[params["mechanism"]]
+    proc = Processor(0, get_platform(params["platform"]))
+    if cls is AmpiThreadFlow:
+        mech = cls(proc, slot_bytes=32 * 1024)
+    else:
+        mech = cls(proc)
+    ys: List[Optional[float]] = []
+    dead = False
+    for n in params["grid"]:
+        if dead:
+            ys.append(None)
+            continue
+        try:
+            res = mech.run_yield_benchmark(n, rounds=params["rounds"],
+                                           keep=True)
+            ys.append(res.ns_per_switch / 1000.0)         # µs
+        except (OSLimitError, OutOfPhysicalMemory,
+                OutOfVirtualAddressSpace):
+            ys.append(None)
+            dead = True
+    mech.destroy_all()
+    return {"mechanism": mech.label, "ys": ys}
+
+
 def context_switch_series(platform_name: str,
                           grid: Sequence[int] = FLOW_GRID,
                           rounds: int = 3,
+                          cache=None,
                           ) -> Tuple[List[int], Dict[str, List[Optional[float]]]]:
     """Time per flow per context switch (µs) for the four mechanisms.
 
@@ -60,31 +99,30 @@ def context_switch_series(platform_name: str,
     is driven through the real creation + yield-loop microbenchmark; a
     mechanism's series ends (None) where its platform limit refuses further
     creation — the same truncation the paper's plots show.
+
+    The series fan out as one executor cell per mechanism (cached and
+    crash-contained when ``cache`` — a
+    :class:`~repro.exec.cache.ResultCache` — is provided); the merged
+    output is byte-identical to the old inline loop.
     """
-    out: Dict[str, List[Optional[float]]] = {}
+    from repro.exec import Cell, SweepExecutor, SweepSpec
     grid = sorted(grid)
-    for cls in (ProcessFlow, KernelThreadFlow, UserThreadFlow,
-                AmpiThreadFlow):
-        proc = Processor(0, get_platform(platform_name))
-        if cls is AmpiThreadFlow:
-            mech = cls(proc, slot_bytes=32 * 1024)
-        else:
-            mech = cls(proc)
-        ys: List[Optional[float]] = []
-        dead = False
-        for n in grid:
-            if dead:
-                ys.append(None)
-                continue
-            try:
-                res = mech.run_yield_benchmark(n, rounds=rounds, keep=True)
-                ys.append(res.ns_per_switch / 1000.0)     # µs
-            except (OSLimitError, OutOfPhysicalMemory,
-                    OutOfVirtualAddressSpace):
-                ys.append(None)
-                dead = True
-        mech.destroy_all()
-        out[mech.label] = ys
+    cells = [Cell(experiment=f"fig.switch.{platform_name}",
+                  runner="repro.bench.figures:context_switch_cell",
+                  params={"platform": platform_name, "mechanism": key,
+                          "grid": list(grid), "rounds": rounds})
+             for key in _FIGURE_MECHS]
+    results = SweepExecutor(SweepSpec(name="context-switch", cells=cells),
+                            cache=cache).run()
+    out: Dict[str, List[Optional[float]]] = {}
+    for res in results:
+        if not res.ok:
+            raise ReproError(f"figure cell {res.cell_id} failed: "
+                             f"{res.error}")
+        out[res.value["mechanism"]] = res.value["ys"]
+    # Preserve the historical series order (insertion order of the dict).
+    out = {label: out[label] for label in ("process", "pthread", "cth",
+                                           "ampi")}
     return list(grid), out
 
 

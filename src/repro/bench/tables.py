@@ -9,7 +9,7 @@ from repro.flows import (KernelThreadFlow, ProcessFlow, UserThreadFlow,
 from repro.sim import Processor, get_platform
 
 __all__ = ["TABLE1_COLUMNS", "table1_rows", "TABLE2_COLUMNS",
-           "TABLE2_PROBE_CAPS", "table2_rows"]
+           "TABLE2_PROBE_CAPS", "table2_cell", "table2_rows"]
 
 #: Paper Table 1 column order: (display name, platform profile).
 TABLE1_COLUMNS: List[Tuple[str, str]] = [
@@ -74,25 +74,65 @@ _MECHS = {
 }
 
 
-def table2_rows(chunk: int = 256) -> List[List[str]]:
+def table2_cell(params: Dict, seed) -> Dict:
+    """Executor worker: one Table 2 probe (mechanism × platform).
+
+    ``params = {"mechanism": key, "platform": profile, "cap": int,
+    "chunk": int}`` → the probe outcome as plain data.  Each probe is
+    its own cell because a probe *ends in a refusal by design*; the
+    executor's crash containment keeps an unexpected failure in one
+    cell from taking down the table.
+    """
+    from repro.flows import MECHANISMS
+    cls = MECHANISMS[params["mechanism"]]
+    proc = Processor(0, get_platform(params["platform"]))
+    probe = probe_limit(cls(proc), cap=params["cap"],
+                        chunk=params["chunk"])
+    return {"mechanism": probe.mechanism, "platform": probe.platform,
+            "count": probe.count, "hit_limit": probe.hit_limit,
+            "limiting_factor": probe.limiting_factor,
+            "display": probe.display()}
+
+
+def table2_rows(chunk: int = 256, cache=None) -> List[List[str]]:
     """Table 2: practical flow-count limits, measured by live probing.
 
     Each cell creates flows on a fresh simulated processor until the OS
     model or memory refuses, or the paper's probe cap is reached (shown
-    with a trailing ``+``, the paper's "90000+" notation).
+    with a trailing ``+``, the paper's "90000+" notation).  The probes
+    run as one executor cell per (mechanism, platform) — cached when a
+    :class:`~repro.exec.cache.ResultCache` is passed — and the merged
+    rows are byte-identical to the old inline loop.
     """
+    from repro.errors import ReproError
+    from repro.exec import Cell, SweepExecutor, SweepSpec
+    cells = []
+    for key in _MECHS:
+        for _, pname in TABLE2_COLUMNS:
+            cells.append(Cell(
+                experiment="table2.limits",
+                runner="repro.bench.tables:table2_cell",
+                params={"mechanism": key, "platform": pname,
+                        "cap": TABLE2_PROBE_CAPS[key][pname],
+                        "chunk": chunk}))
+    results = SweepExecutor(SweepSpec(name="table2", cells=cells),
+                            cache=cache).run()
+    probes: Dict[Tuple[str, str], Dict] = {}
+    for res in results:
+        if not res.ok:
+            raise ReproError(f"table2 cell {res.cell_id} failed: "
+                             f"{res.error}")
+        probes[(res.value["mechanism"], res.value["platform"])] = res.value
     rows = []
     for key, (cls, label, factor) in _MECHS.items():
         row = [label, factor]
         for _, pname in TABLE2_COLUMNS:
-            proc = Processor(0, get_platform(pname))
-            probe = probe_limit(cls(proc), cap=TABLE2_PROBE_CAPS[key][pname],
-                                chunk=chunk)
-            if key == "process" and probe.hit_limit:
+            probe = probes[(cls.label, get_platform(pname).name)]
+            if key == "process" and probe["hit_limit"]:
                 # The probing program is itself a process; the paper
                 # reports the kernel's total, so count it back in.
-                row.append(str(probe.count + 1))
+                row.append(str(probe["count"] + 1))
             else:
-                row.append(probe.display())
+                row.append(probe["display"])
         rows.append(row)
     return rows

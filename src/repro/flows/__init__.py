@@ -15,26 +15,39 @@ context-switch cost to the processor clock (Figures 4–8):
 """
 
 from repro.flows.base import FlowHandle, FlowMechanism, YieldBenchmarkResult
+from repro.flows.runtime import (FlowMessage, FlowProgram, FlowWorld,
+                                 WorkloadRun)
+from repro.flows.compile import CompiledFlow, FlowCompileError, compile_flow
 from repro.flows.process import ProcessFlow
 from repro.flows.kthread import KernelThreadFlow
 from repro.flows.uthread import AmpiThreadFlow, UserThreadFlow
 from repro.flows.events import EventObjectFlow
 from repro.flows.hybrid import HybridThreadFlow
+from repro.flows.compiled import CompiledContinuationFlow
 from repro.flows.limits import LimitProbe, probe_limit
 
 __all__ = [
     "FlowHandle",
     "FlowMechanism",
     "YieldBenchmarkResult",
+    "FlowMessage",
+    "FlowProgram",
+    "FlowWorld",
+    "WorkloadRun",
+    "CompiledFlow",
+    "FlowCompileError",
+    "compile_flow",
     "ProcessFlow",
     "KernelThreadFlow",
     "UserThreadFlow",
     "AmpiThreadFlow",
     "EventObjectFlow",
     "HybridThreadFlow",
+    "CompiledContinuationFlow",
     "LimitProbe",
     "probe_limit",
     "MECHANISMS",
+    "WORKLOAD_MECHANISMS",
 ]
 
 #: The four mechanisms benchmarked in Figures 4-8, in the paper's order.
@@ -43,4 +56,14 @@ MECHANISMS = {
     "pthread": KernelThreadFlow,
     "cth": UserThreadFlow,
     "ampi": AmpiThreadFlow,
+}
+
+#: Mechanisms implementing the workload-execution contract's three
+#: frontends (plus the N:M hybrid), keyed by label: the set the
+#: thread-vs-event-vs-compiled comparisons run over.
+WORKLOAD_MECHANISMS = {
+    "cth": UserThreadFlow,
+    "event": EventObjectFlow,
+    "n:m": HybridThreadFlow,
+    "compiled": CompiledContinuationFlow,
 }

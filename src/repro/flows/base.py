@@ -1,4 +1,16 @@
-"""Common interface and measurement harness for flow-of-control mechanisms."""
+"""Common interface and measurement harness for flow-of-control mechanisms.
+
+A mechanism is both a *cost model* (creation cost, switch cost, OS
+limits — Figures 4–8 and Table 2) and an *executor*: every mechanism
+runs real message-passing workloads through the shared
+:class:`~repro.flows.runtime.FlowWorld` substrate via
+:meth:`FlowMechanism.run_workload`, so thread, event-object, hybrid and
+compiled-continuation flows are interchangeable behind one contract:
+
+``create`` (real resources, real limits) / ``run_workload`` (execute a
+:class:`~repro.flows.runtime.FlowProgram`) / ``switch_cost_ns`` (the
+mechanistic model) / ``probe_limit`` (Table 2 probe).
+"""
 
 from __future__ import annotations
 
@@ -7,6 +19,8 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import ReproError
+from repro.flows.runtime import FlowProgram, FlowWorld, WorkloadRun
+from repro.kernel import EventKernel, KernelTracer
 from repro.sim.processor import Processor
 
 __all__ = ["FlowHandle", "FlowMechanism", "YieldBenchmarkResult"]
@@ -96,6 +110,61 @@ class FlowMechanism(ABC):
         p = self.profile
         return (p.cache_penalty_ns * self.cache_weight
                 * n_flows / (n_flows + p.cache_flows_scale))
+
+    # -- workload execution -----------------------------------------------
+
+    def _spawn(self, world: FlowWorld, program: FlowProgram) -> None:
+        """Populate ``world`` with this mechanism's form of ``program``.
+
+        The default is the thread form (the generator body); event and
+        compiled mechanisms override this with their own front end.
+        """
+        world.spawn_threads(program.body)
+
+    def run_workload(self, program: FlowProgram, *, trace: bool = False,
+                     max_events: Optional[int] = None,
+                     real_flows: bool = True,
+                     keep: bool = False) -> WorkloadRun:
+        """Execute ``program`` under this mechanism.
+
+        ``real_flows`` creates one real flow per rank first (stacks,
+        kernel objects...), so OS-limit and memory failures surface
+        exactly as in :func:`repro.flows.limits.probe_limit`; the
+        modeled switch cost at that population is charged per dispatch.
+        ``trace=True`` attaches a :class:`KernelTracer` and returns its
+        entries on the run (the differential oracle's byte source).
+        """
+        if real_flows:
+            while self.n_flows < program.ranks:
+                self.create_flow()
+        kernel = EventKernel(name="flows", causality=False)
+        tracer = KernelTracer().attach(kernel) if trace else None
+        world = FlowWorld(program.ranks,
+                          dispatch_cost_ns=self.switch_cost_ns(
+                              program.ranks),
+                          kernel=kernel)
+        self._spawn(world, program)
+        processed = world.run(max_events)
+        if not keep:
+            self.destroy_all()
+        program.results.update(world.results)
+        return WorkloadRun(
+            mechanism=self.label,
+            platform=self.profile.name,
+            program=program.name,
+            ranks=program.ranks,
+            dispatches=world.dispatches,
+            kernel_events=processed,
+            work_ns=world.work_ns,
+            modeled_switch_ns=world.modeled_switch_ns,
+            results=dict(world.results),
+            trace=tracer.entries if tracer is not None else None,
+        )
+
+    def probe_limit(self, cap: int, chunk: int = 1):
+        """Table 2 probe: create until refusal or ``cap`` (then clean up)."""
+        from repro.flows.limits import probe_limit as _probe
+        return _probe(self, cap, chunk=chunk)
 
     # -- the experiment ---------------------------------------------------------
 

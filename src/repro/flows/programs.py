@@ -1,0 +1,92 @@
+"""Canonical :class:`~repro.flows.runtime.FlowProgram` factories.
+
+Each factory closes its thread body over a precomputed, seeded plan —
+never over live RNG state — so a generator run and its compiled
+translation (whose closure cells are snapshot at compile time) observe
+literally the same data, and so any two runs with the same seed are
+bitwise repeatable.  These bodies live under ``src/repro/flows`` and are
+therefore scanned by ``repro.analysis flowreport``: they are part of the
+checked-in COMPILABLE contract in ``results/flow_report.json``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.flows.runtime import FlowProgram
+
+__all__ = ["spin_program", "ring_program", "pingpong_program"]
+
+
+def spin_program(ranks: int, rounds: int) -> FlowProgram:
+    """Pure context-switch load: every rank yields ``rounds`` times.
+
+    The workload behind the Figures 4–8 microbenchmark and the
+    compiled-switch bench cell — no messages, so every kernel event is
+    one switch.
+    """
+
+    def main(mpi):
+        for _ in range(rounds):
+            yield "yield"
+        mpi.results[mpi.rank] = rounds
+        yield "exit"
+
+    return FlowProgram("spin", ranks, main)
+
+
+def ring_program(ranks: int, rounds: int, seed: int = 0) -> FlowProgram:
+    """Seeded ring rotation: send right, receive left, barrier per lap.
+
+    Exercises every continuation primitive (recv, barrier, yield) plus
+    a suspending loop, which makes it the differential oracle's main
+    workload.
+    """
+    rng = random.Random(seed)
+    payloads = [[rng.randrange(1000) for _ in range(rounds)]
+                for _ in range(ranks)]
+
+    def main(mpi):
+        right = (mpi.rank + 1) % mpi.nranks
+        left = (mpi.rank - 1) % mpi.nranks
+        row = payloads[mpi.rank]
+        acc = 0
+        for i in range(len(row)):
+            mpi.send(right, row[i], tag="ring")
+            got = yield from mpi.recv(source=left, tag="ring")
+            acc += got
+            yield "yield"
+        yield from mpi.barrier()
+        mpi.results[mpi.rank] = acc
+
+    return FlowProgram("ring", ranks, main)
+
+
+def pingpong_program(ranks: int, rounds: int, seed: int = 0) -> FlowProgram:
+    """Seeded pairwise ping-pong; an unpaired last rank spins.
+
+    The even rank of each pair initiates, the odd rank echoes with a
+    seeded increment — asymmetric control flow through the same body,
+    so conditional suspend paths get differential coverage too.
+    """
+    rng = random.Random(seed)
+    bumps = [rng.randrange(1, 10) for _ in range(ranks)]
+
+    def main(mpi):
+        peer = mpi.rank ^ 1
+        acc = 0
+        for i in range(rounds):
+            if peer >= mpi.nranks:
+                yield "yield"
+            else:
+                if mpi.rank < peer:
+                    mpi.send(peer, bumps[mpi.rank] + i, tag="pp")
+                    reply = yield from mpi.recv(source=peer, tag="pp")
+                    acc += reply
+                else:
+                    ball = yield from mpi.recv(source=peer, tag="pp")
+                    mpi.send(peer, ball + bumps[mpi.rank], tag="pp")
+                    acc += ball
+        mpi.results[mpi.rank] = acc
+
+    return FlowProgram("pingpong", ranks, main)

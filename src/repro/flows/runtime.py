@@ -1,0 +1,522 @@
+"""Workload execution for flow mechanisms: one kernel, three frontends.
+
+The paper's three flow-of-control styles all need to run *the same
+program* before their costs and limits can be compared honestly.  This
+module is the shared substrate: a :class:`FlowWorld` owns one fast-path
+:class:`~repro.kernel.EventKernel` plus per-rank mailboxes, and drives
+any mix of
+
+* **generator tasks** — UThread-style bodies (``def main(mpi)``
+  generators speaking the directive protocol) trampolined one resume
+  per kernel event;
+* **compiled tasks** — the same bodies after
+  :mod:`repro.flows.compile` turned them into flat continuation state
+  machines (no generator frames, no Python stacks held across
+  suspends);
+* **event objects** — hand-written SDAG-style objects reacting to
+  message-delivery events (the paper's "awkward but unbounded" form).
+
+Trace-identity contract (pinned by ``tests/flows/test_differential.py``):
+a generator task and its compiled translation produce **byte-identical
+kernel traces**.  Both forms dispatch through the single
+:meth:`FlowWorld._resume` site, post with the same ``(time=0.0,
+category="flow.resume", flow="r<rank>")`` labels in the same order, and
+a receive whose message is already queued continues synchronously in
+both (no kernel event).  Bulk transitions — seeding all ranks, barrier
+release — go through ``post_batch``.
+
+Cost model: the world charges ``dispatch_cost_ns`` (the owning
+mechanism's modeled switch cost) per dispatch into
+:attr:`FlowWorld.modeled_switch_ns`, and bodies charge their compute
+via ``mpi.charge`` into :attr:`FlowWorld.work_ns`.  Neither appears in
+the trace, so mechanisms with different cost models still compare
+byte-identical traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.kernel import EventKernel
+
+__all__ = [
+    "FlowMessage",
+    "FlowProgram",
+    "FlowContext",
+    "FlowWorld",
+    "WorkloadRun",
+    "DONE",
+    "SUSPENDED",
+]
+
+
+class _Sentinel:
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self._name}>"
+
+
+#: Returned by a continuation state when its task finished.
+DONE = _Sentinel("flow-done")
+#: Returned by a continuation state after parking a resume point.
+SUSPENDED = _Sentinel("flow-suspended")
+
+
+class FlowMessage:
+    """One rank-to-rank message (source, tag, payload)."""
+
+    __slots__ = ("src", "tag", "data")
+
+    def __init__(self, src: int, tag: Any, data: Any) -> None:
+        self.src = src
+        self.tag = tag
+        self.data = data
+
+    def matches(self, source: Optional[int], tag: Any) -> bool:
+        """MPI-style wildcard matching (None = any)."""
+        if source is not None and self.src != source:
+            return False
+        if tag is not None and self.tag != tag:
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FlowMessage(src={self.src}, tag={self.tag!r})"
+
+
+@dataclass
+class FlowProgram:
+    """One workload, in up to three forms.
+
+    ``body`` is the thread form: a generator function ``main(mpi)``
+    shared by every rank (rank identity comes from ``mpi.rank``), which
+    is also what :mod:`repro.flows.compile` consumes.  ``event_objects``
+    is the optional hand-written SDAG/event-object form: a factory
+    ``(world, rank) -> object`` where the object implements ``start()``
+    and ``on_message(msg)`` and calls ``world.finish(rank)`` when done.
+    ``results`` is a shared output dict bodies may write into.
+    """
+
+    name: str
+    ranks: int
+    body: Callable[..., Any]
+    event_objects: Optional[Callable[["FlowWorld", int], Any]] = None
+    results: Dict[int, Any] = field(default_factory=dict)
+
+
+class FlowContext:
+    """The generator-form runtime handle (the ``mpi`` receiver).
+
+    Deliberately a semantic subset of
+    :class:`~repro.ampi.context.AmpiContext`, with the same suspend
+    contract per method name, so the interprocedural flow analysis
+    (``repro.analysis.flow``) classifies bodies written against it with
+    the unchanged AMPI runtime interface: ``recv``/``barrier`` suspend,
+    ``send``/``charge`` do not.
+    """
+
+    __slots__ = ("_world", "_task", "rank", "nranks")
+
+    def __init__(self, world: "FlowWorld", task: "_GeneratorTask") -> None:
+        self._world = world
+        self._task = task
+        self.rank = task.rank
+        self.nranks = world.ranks
+
+    # -- non-suspending -------------------------------------------------
+
+    def send(self, dest: int, data: Any, tag: Any = None) -> None:
+        """Deposit a message at ``dest`` (eager, never suspends)."""
+        self._world.send(self.rank, dest, data, tag)
+
+    def charge(self, ns: float) -> None:
+        """Account ``ns`` of modeled compute for this rank."""
+        self._world.charge(ns)
+
+    @property
+    def results(self) -> Dict[int, Any]:
+        """The world's shared output dict (write ``results[rank]``)."""
+        return self._world.results
+
+    # -- suspending (generator methods, driven by ``yield from``) -------
+
+    def recv(self, source: Optional[int] = None, tag: Any = None):
+        """Receive a matching message's payload; suspends until one
+        arrives.  Returns synchronously (no kernel event) when a match
+        is already queued — the compiled form mirrors this exactly."""
+        world, task = self._world, self._task
+        while True:
+            msg = world._match(task.rank, source, tag)
+            if msg is not None:
+                return msg.data
+            world._set_waiting(task.rank, source, tag)
+            yield "suspend"
+
+    def barrier(self):
+        """Block until every rank has arrived; the last arrival releases
+        all ranks with one ``post_batch``."""
+        self._world._barrier_arrive()
+        yield "suspend"
+
+
+class _GeneratorTask:
+    """Trampoline around one thread-form body generator."""
+
+    __slots__ = ("rank", "flow", "gen")
+    kind = "thread"
+
+    def __init__(self, world: "FlowWorld", rank: int,
+                 body: Callable[..., Any]) -> None:
+        self.rank = rank
+        self.flow = world.flow_label(rank)
+        self.gen = body(FlowContext(world, self))
+
+    def step(self, world: "FlowWorld") -> None:
+        try:
+            directive = self.gen.send(None)
+        except StopIteration:
+            world._task_done(self)
+            return
+        if directive == "suspend":
+            return
+        if directive == "yield":
+            world._post_resume(self)
+            return
+        if directive == "exit":
+            self.gen.close()
+            world._task_done(self)
+            return
+        raise ReproError(
+            f"flow r{self.rank}: unsupported directive {directive!r} "
+            f"(the flows runtime speaks yield/suspend/exit)")
+
+    def on_message(self, world: "FlowWorld", msg: FlowMessage) -> None:
+        world._mailbox_deliver(self, msg)
+
+
+class CompiledContext:
+    """The compiled-form runtime handle (also bound to ``mpi``).
+
+    Generated state functions receive this as their first argument
+    under the body's original receiver name, so non-suspending calls
+    (``mpi.send``, ``mpi.charge``, ``mpi.rank``) run verbatim; the
+    lowered suspend points call the ``op_*`` continuation primitives.
+    """
+
+    __slots__ = ("_world", "_task", "rank", "nranks")
+
+    def __init__(self, world: "FlowWorld", task: "CompiledTask") -> None:
+        self._world = world
+        self._task = task
+        self.rank = task.rank
+        self.nranks = world.ranks
+
+    # -- non-suspending (same surface as FlowContext) -------------------
+
+    def send(self, dest: int, data: Any, tag: Any = None) -> None:
+        self._world.send(self.rank, dest, data, tag)
+
+    def charge(self, ns: float) -> None:
+        self._world.charge(ns)
+
+    @property
+    def results(self) -> Dict[int, Any]:
+        return self._world.results
+
+    # -- continuation primitives (called from generated code) -----------
+
+    def op_recv(self, frame, retry, cont, var: Optional[str],
+                source: Optional[int] = None, tag: Any = None):
+        """``x = yield from mpi.recv(...)`` in continuation form.
+
+        Match now → store and continue synchronously; no match →
+        register the wait and park ``retry`` (which re-runs the match,
+        exactly like the generator's receive loop)."""
+        world, task = self._world, self._task
+        msg = world._match(task.rank, source, tag)
+        if msg is not None:
+            if var is not None:
+                setattr(frame, var, msg.data)
+            return (cont, frame)
+        world._set_waiting(task.rank, source, tag)
+        task._save(retry, frame)
+        return SUSPENDED
+
+    def op_barrier(self, frame, cont):
+        """``yield from mpi.barrier()`` in continuation form."""
+        self._world._barrier_arrive()
+        self._task._save(cont, frame)
+        return SUSPENDED
+
+    def op_yield(self, frame, cont):
+        """``yield "yield"`` — cooperative yield via kernel re-post."""
+        task = self._task
+        task._save(cont, frame)
+        self._world._post_resume(task)
+        return SUSPENDED
+
+    def op_exit(self, frame):
+        """``yield "exit"`` — finish this flow immediately."""
+        return DONE
+
+    def op_return(self, frame, value):
+        """``return`` — hand the value to the delegating caller's
+        continuation, or finish the task at the outermost frame."""
+        ret = frame._ret
+        if ret is None:
+            return DONE
+        cont, caller_frame, var = ret
+        if var is not None:
+            setattr(caller_frame, var, value)
+        return (cont, caller_frame)
+
+
+class CompiledTask:
+    """One flow running as a compiled continuation state machine."""
+
+    __slots__ = ("rank", "flow", "ctx", "_pc", "_frame")
+    kind = "compiled"
+
+    def __init__(self, world: "FlowWorld", rank: int, entry,
+                 frame) -> None:
+        self.rank = rank
+        self.flow = world.flow_label(rank)
+        self.ctx = CompiledContext(world, self)
+        self._pc = entry
+        self._frame = frame
+
+    def _save(self, pc, frame) -> None:
+        self._pc = pc
+        self._frame = frame
+
+    def step(self, world: "FlowWorld") -> None:
+        pc, frame = self._pc, self._frame
+        self._pc = self._frame = None
+        ctx = self.ctx
+        res = pc(ctx, frame)
+        # The trampoline: states hand back (next_state, frame) until a
+        # primitive parks a resume point or the outermost frame returns.
+        while res.__class__ is tuple:
+            pc, frame = res
+            res = pc(ctx, frame)
+        if res is DONE:
+            world._task_done(self)
+        elif res is not SUSPENDED:
+            raise ReproError(
+                f"flow r{self.rank}: compiled state returned {res!r} "
+                f"(expected a continuation, DONE, or SUSPENDED)")
+
+    def on_message(self, world: "FlowWorld", msg: FlowMessage) -> None:
+        world._mailbox_deliver(self, msg)
+
+
+class _EventObjectTask:
+    """One flow as a hand-written event-driven object."""
+
+    __slots__ = ("rank", "flow", "obj")
+    kind = "event"
+
+    def __init__(self, world: "FlowWorld", rank: int,
+                 factory: Callable[["FlowWorld", int], Any]) -> None:
+        self.rank = rank
+        self.flow = world.flow_label(rank)
+        self.obj = factory(world, rank)
+
+    def step(self, world: "FlowWorld") -> None:
+        # The seed event: the object's start() entry method.
+        self.obj.start()
+
+    def on_message(self, world: "FlowWorld", msg: FlowMessage) -> None:
+        # Event objects get one kernel event per delivery — suspension
+        # is inverted into the object's own state, which is exactly the
+        # awkwardness the paper's Section 2.4 describes.
+        world.kernel.post(0.0, world._deliver, (self, msg),
+                          "flow.deliver", self.flow)
+
+
+@dataclass(frozen=True)
+class WorkloadRun:
+    """Outcome of one workload execution under one mechanism."""
+
+    mechanism: str
+    platform: str
+    program: str
+    ranks: int
+    dispatches: int
+    kernel_events: int
+    work_ns: float
+    modeled_switch_ns: float
+    results: Dict[int, Any]
+    trace: Optional[List[dict]] = None
+
+    def trace_bytes(self) -> bytes:
+        """Canonical trace rendering for byte-level comparison."""
+        import json
+        if self.trace is None:
+            raise ReproError("run was not traced")
+        return "\n".join(
+            json.dumps(e, sort_keys=True) for e in self.trace).encode()
+
+
+class FlowWorld:
+    """Per-run execution world: kernel + mailboxes + completion."""
+
+    def __init__(self, ranks: int, dispatch_cost_ns: float = 0.0,
+                 kernel: Optional[EventKernel] = None) -> None:
+        if ranks <= 0:
+            raise ReproError("a flow world needs at least one rank")
+        self.ranks = ranks
+        # NB `kernel or ...` would discard an empty kernel (__len__ == 0
+        # makes it falsy) — compare against None explicitly.
+        self.kernel = kernel if kernel is not None \
+            else EventKernel(name="flows", causality=False)
+        self.dispatch_cost_ns = dispatch_cost_ns
+        self._flow_labels = [f"r{i}" for i in range(ranks)]
+        self._tasks: List[Any] = []
+        self._mailbox: List[List[FlowMessage]] = [[] for _ in range(ranks)]
+        self._waiting: List[Optional[tuple]] = [None] * ranks
+        self._barrier_count = 0
+        self._done = 0
+        self.dispatches = 0
+        self.work_ns = 0.0
+        self.modeled_switch_ns = 0.0
+        #: Shared per-rank output dict, exposed to bodies as
+        #: ``mpi.results`` (all three forms).
+        self.results: Dict[int, Any] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def flow_label(self, rank: int) -> str:
+        return self._flow_labels[rank]
+
+    def spawn_threads(self, body: Callable[..., Any]) -> None:
+        """Populate every rank with the generator form of ``body``."""
+        self._require_empty()
+        self._tasks = [_GeneratorTask(self, r, body)
+                       for r in range(self.ranks)]
+
+    def spawn_compiled(self, compiled) -> None:
+        """Populate every rank with a compiled continuation program
+        (a :class:`repro.flows.compile.CompiledFlow`)."""
+        self._require_empty()
+        self._tasks = [
+            CompiledTask(self, r, compiled.entry, compiled.new_frame())
+            for r in range(self.ranks)]
+
+    def spawn_events(self, factory: Callable[["FlowWorld", int], Any]) -> None:
+        """Populate every rank with a hand-written event object."""
+        self._require_empty()
+        self._tasks = [_EventObjectTask(self, r, factory)
+                       for r in range(self.ranks)]
+
+    def _require_empty(self) -> None:
+        if self._tasks:
+            raise ReproError("world already populated")
+
+    # -- execution ------------------------------------------------------
+
+    def seed(self) -> None:
+        """Post the initial resume for every rank (one batch)."""
+        tasks = self._tasks
+        self.kernel.post_batch(
+            [0.0] * len(tasks), self._resume, category="flow.resume",
+            args_list=[(t,) for t in tasks],
+            flows=[t.flow for t in tasks])
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Seed (if nothing is pending) and drain to quiescence.
+
+        Raises :class:`~repro.errors.ReproError` if the kernel drains
+        with unfinished flows (a deadlocked receive), naming the stuck
+        ranks — crash containment for the sweep cells.
+        """
+        if not self._tasks:
+            raise ReproError("world has no tasks (spawn first)")
+        if len(self.kernel) == 0 and self.dispatches == 0:
+            self.seed()
+        processed = self.kernel.run_batch(max_events)
+        if self.kernel.empty and self._done < len(self._tasks):
+            stuck = [f"r{t.rank}(waiting={self._waiting[t.rank]})"
+                     for t in self._tasks
+                     if self._waiting[t.rank] is not None]
+            raise ReproError(
+                f"flow world drained with {len(self._tasks) - self._done} "
+                f"unfinished flows: {', '.join(stuck) or 'none waiting'}")
+        return processed
+
+    # -- dispatch sites (shared by thread + compiled forms) -------------
+
+    def _resume(self, task) -> None:
+        self.dispatches += 1
+        self.modeled_switch_ns += self.dispatch_cost_ns
+        task.step(self)
+
+    def _deliver(self, task, msg: FlowMessage) -> None:
+        self.dispatches += 1
+        self.modeled_switch_ns += self.dispatch_cost_ns
+        task.obj.on_message(msg)
+
+    def _post_resume(self, task) -> None:
+        self.kernel.post(0.0, self._resume, (task,), "flow.resume",
+                         task.flow)
+
+    # -- messaging ------------------------------------------------------
+
+    def send(self, src: int, dst: int, data: Any, tag: Any = None) -> None:
+        """Deposit a message at rank ``dst`` (any task kind)."""
+        if not 0 <= dst < self.ranks:
+            raise ReproError(f"bad destination rank {dst}")
+        self._tasks[dst].on_message(self, FlowMessage(src, tag, data))
+
+    def _mailbox_deliver(self, task, msg: FlowMessage) -> None:
+        rank = task.rank
+        self._mailbox[rank].append(msg)
+        waiting = self._waiting[rank]
+        if waiting is not None and msg.matches(*waiting):
+            self._waiting[rank] = None
+            self._post_resume(task)
+
+    def _match(self, rank: int, source: Optional[int],
+               tag: Any) -> Optional[FlowMessage]:
+        box = self._mailbox[rank]
+        for i, msg in enumerate(box):
+            if msg.matches(source, tag):
+                del box[i]
+                return msg
+        return None
+
+    def _set_waiting(self, rank: int, source: Optional[int],
+                     tag: Any) -> None:
+        self._waiting[rank] = (source, tag)
+
+    def _barrier_arrive(self) -> None:
+        self._barrier_count += 1
+        if self._barrier_count == len(self._tasks):
+            self._barrier_count = 0
+            tasks = self._tasks
+            self.kernel.post_batch(
+                [0.0] * len(tasks), self._resume, category="flow.resume",
+                args_list=[(t,) for t in tasks],
+                flows=[t.flow for t in tasks])
+
+    # -- accounting -----------------------------------------------------
+
+    def charge(self, ns: float) -> None:
+        self.work_ns += ns
+
+    def finish(self, rank: int) -> None:
+        """Event-object completion signal."""
+        self._task_done(self._tasks[rank])
+
+    def _task_done(self, task) -> None:
+        self._done += 1
+
+    @property
+    def finished(self) -> int:
+        return self._done

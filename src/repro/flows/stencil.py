@@ -1,0 +1,151 @@
+"""The paper's stencil workload, in all three flow-of-control forms.
+
+One 1-D Jacobi relaxation, written three ways:
+
+* **thread form** — the blocking-receive generator body inside
+  :func:`stencil_program` ("the program's natural control flow",
+  Section 2.3);
+* **compiled form** — not written at all: :mod:`repro.flows.compile`
+  derives it from the thread form, and the differential oracle pins
+  its kernel trace byte-identical to the generator's;
+* **event-object form** — :class:`StencilChare`, the hand-inverted
+  SDAG-style state machine (Section 2.4's "awkward" shape: explicit
+  step counters, explicit buffering of early messages, control flow
+  scattered across ``on_message``).
+
+All three share :func:`relax`, so their numeric results are
+float-exact comparable.  Ghost messages are tagged ``(dir, step)``;
+the step in the tag is what lets neighbors run asynchronously without
+a barrier while still matching deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.flows.runtime import FlowProgram, FlowWorld
+
+__all__ = ["relax", "stencil_program", "StencilChare"]
+
+
+def relax(data: List[float], below: float, above: float) -> List[float]:
+    """One Jacobi sweep over a rank's cells with ghost values."""
+    out = []
+    for i in range(len(data)):
+        left = below if i == 0 else data[i - 1]
+        right = above if i == len(data) - 1 else data[i + 1]
+        out.append((left + data[i] + right) / 3.0)
+    return out
+
+
+#: Modeled compute cost per cell per sweep (charged, not traced).
+_NS_PER_CELL = 50.0
+
+
+def stencil_program(ranks: int, cells: int = 8, steps: int = 4,
+                    seed: int = 1) -> FlowProgram:
+    """Build the three-forms stencil over a seeded initial field."""
+    rng = random.Random(seed)
+    init = [[rng.uniform(0.0, 100.0) for _ in range(cells)]
+            for _ in range(ranks)]
+
+    def main(mpi):
+        data = list(init[mpi.rank])
+        for step in range(steps):
+            if mpi.rank > 0:
+                mpi.send(mpi.rank - 1, data[0], tag=("up", step))
+            if mpi.rank < mpi.nranks - 1:
+                mpi.send(mpi.rank + 1, data[len(data) - 1],
+                         tag=("down", step))
+            if mpi.rank < mpi.nranks - 1:
+                above = yield from mpi.recv(source=mpi.rank + 1,
+                                            tag=("up", step))
+            else:
+                above = data[len(data) - 1]
+            if mpi.rank > 0:
+                below = yield from mpi.recv(source=mpi.rank - 1,
+                                            tag=("down", step))
+            else:
+                below = data[0]
+            mpi.charge(_NS_PER_CELL * len(data))
+            data = relax(data, below, above)
+        mpi.results[mpi.rank] = data
+
+    def make_chare(world: FlowWorld, rank: int) -> "StencilChare":
+        return StencilChare(world, rank, list(init[rank]), steps)
+
+    return FlowProgram("stencil", ranks, main, event_objects=make_chare)
+
+
+class StencilChare:
+    """Hand-written event-object form of the same stencil.
+
+    Everything the generator expresses with straight-line code becomes
+    explicit object state: which step we are on, which ghosts have
+    arrived, and a buffer for messages from neighbors that are already
+    a step ahead.  This is the inversion the compiler performs
+    mechanically.
+    """
+
+    def __init__(self, world: FlowWorld, rank: int,
+                 data: List[float], steps: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.nranks = world.ranks
+        self.data = data
+        self.steps = steps
+        self.step = 0
+        self._ghosts: dict = {}      # tag -> value, may hold future steps
+        self._finished = False
+
+    # -- entry methods ---------------------------------------------------
+
+    def start(self) -> None:
+        if self.steps == 0:
+            self._finish()
+            return
+        self._send_ghosts()
+        self._try_advance()
+
+    def on_message(self, msg) -> None:
+        self._ghosts[msg.tag] = msg.data
+        self._try_advance()
+
+    # -- the inverted control flow ---------------------------------------
+
+    def _send_ghosts(self) -> None:
+        if self.rank > 0:
+            self.world.send(self.rank, self.rank - 1, self.data[0],
+                            tag=("up", self.step))
+        if self.rank < self.nranks - 1:
+            self.world.send(self.rank, self.rank + 1, self.data[-1],
+                            tag=("down", self.step))
+
+    def _try_advance(self) -> None:
+        # Loop: several steps may unblock at once when buffered ghosts
+        # from a fast neighbor are already waiting.
+        while self.step < self.steps:
+            need_above = self.rank < self.nranks - 1
+            need_below = self.rank > 0
+            up = ("up", self.step)
+            down = ("down", self.step)
+            if need_above and up not in self._ghosts:
+                return
+            if need_below and down not in self._ghosts:
+                return
+            above = self._ghosts.pop(up) if need_above else self.data[-1]
+            below = self._ghosts.pop(down) if need_below else self.data[0]
+            self.world.charge(_NS_PER_CELL * len(self.data))
+            self.data = relax(self.data, below, above)
+            self.step += 1
+            if self.step < self.steps:
+                self._send_ghosts()
+        self._finish()
+
+    def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self.world.results[self.rank] = self.data
+        self.world.finish(self.rank)

@@ -305,7 +305,11 @@ class EventKernel:
 
     def post_batch(self, times: Iterable[float], fn: Callable[..., Any],
                    args: tuple = (), category: str = "",
-                   flow: Optional[str] = None) -> List[list]:
+                   flow: Optional[str] = None,
+                   args_list: Optional[List[tuple]] = None,
+                   flows: Optional[List[Optional[str]]] = None,
+                   fns: Optional[List[Callable[..., Any]]] = None
+                   ) -> List[list]:
         """Queue one event per entry of ``times``, all sharing
         ``fn``/``args``/labels; returns the raw slots in posted order.
 
@@ -313,15 +317,42 @@ class EventKernel:
         the slot construction is a single list comprehension and the
         causality check one C-level ``min()`` scan, so per-event cost is
         a fraction of :meth:`schedule`.
+
+        ``args_list`` / ``flows`` / ``fns`` optionally carry one entry
+        per event (parallel to ``times``), overriding the shared
+        ``args`` / ``flow`` / ``fn``.  The batched producers (cluster
+        sends, POSE delivery, flow seeding) need per-event payloads,
+        flow labels, and — for multi-destination send batches — the
+        per-receiver ``deliver`` bound method, while still paying batch
+        ingress cost; the homogeneous path is untouched when all three
+        are None.
         """
         seq = self._seq
-        items = [[t, s, 0, fn, args, category, flow, None]
-                 for s, t in enumerate(times, seq)]
+        if args_list is None and flows is None and fns is None:
+            items = [[t, s, 0, fn, args, category, flow, None]
+                     for s, t in enumerate(times, seq)]
+        else:
+            times = times if isinstance(times, list) else list(times)
+            if args_list is None:
+                args_list = [args] * len(times)
+            if flows is None:
+                flows = [flow] * len(times)
+            if fns is None:
+                fns = [fn] * len(times)
+            if (len(args_list) != len(times) or len(flows) != len(times)
+                    or len(fns) != len(times)):
+                raise ReproError(
+                    f"post_batch: args_list/flows/fns must parallel "
+                    f"times ({len(times)} times, {len(args_list)} args, "
+                    f"{len(flows)} flows, {len(fns)} fns)")
+            items = [[t, s, 0, f, a, category, fl, None]
+                     for s, (t, f, a, fl) in enumerate(
+                         zip(times, fns, args_list, flows), seq)]
         if not items:
             return items
         if self.causality and min(items)[_TIME] < self.current_time:
-            bad = min(it[_TIME] for it in items)
-            raise self._causality_error(bad, fn)
+            earliest = min(items)
+            raise self._causality_error(earliest[_TIME], earliest[_FN])
         self._seq = seq + len(items)
         self._data.extend(items)
         hooks = self.hooks
@@ -597,11 +628,28 @@ class EventKernel:
                     data.clear()
                 elif not batch:
                     break
+                # Arrivals posted *during* the walk only force a merge
+                # when one of them sorts before the next batch item; a
+                # same-or-later-time arrival always has a higher seq and
+                # therefore belongs after the whole remaining batch.
+                # (Self-reposting flows — a compiled loop's back edge
+                # posts one event per dispatch — would otherwise re-sort
+                # the full batch per event: quadratic at 10⁶ flows.)
+                dmin = None
+                scanned = 0
                 for item in reversed(batch):
                     if item[_STATE]:
                         continue          # cancelled (or consumed) slot
                     if data:
-                        break             # arrivals: merge, then resume
+                        n = len(data)
+                        if scanned < n:   # scan only the new arrivals
+                            for j in range(scanned, n):
+                                t = data[j][_TIME]
+                                if dmin is None or t < dmin:
+                                    dmin = t
+                            scanned = n
+                        if dmin < item[_TIME]:
+                            break         # early arrival: merge, resume
                     self.current_time = item[_TIME]
                     item[_STATE] = 2
                     fired += 1
@@ -639,16 +687,32 @@ class EventKernel:
         batch = self._batch
         hooks = self.hooks
         processed = 0
+        # Same lazy-merge discipline as _drain_cold: arrivals are folded
+        # in only when one could sort before the next item (strictly
+        # earlier time — equal-time arrivals have higher seqs and come
+        # after the whole batch), so self-reposting flows stay linear.
+        dmin = None
+        scanned = 0
         while True:
             if budget is not None and processed >= budget:
                 return processed, True
             if data:
-                if batch:
-                    data.extend(batch)
-                    batch.clear()
-                data.sort(reverse=True)
-                batch[:] = data
-                data.clear()
+                n = len(data)
+                if scanned < n:           # scan only the new arrivals
+                    for j in range(scanned, n):
+                        t = data[j][_TIME]
+                        if dmin is None or t < dmin:
+                            dmin = t
+                    scanned = n
+                if not batch or dmin < batch[-1][_TIME]:
+                    if batch:
+                        data.extend(batch)
+                        batch.clear()
+                    data.sort(reverse=True)
+                    batch[:] = data
+                    data.clear()
+                    dmin = None
+                    scanned = 0
             if not batch:
                 return processed, False
             item = batch[-1]

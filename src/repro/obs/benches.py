@@ -19,7 +19,8 @@ import time
 from typing import Any, Dict, Optional
 
 __all__ = ["run_kernel_bench", "run_cancel_bench", "run_migration_bench",
-           "run_exec_bench", "run_lint_bench", "run_noop_cell"]
+           "run_exec_bench", "run_lint_bench", "run_compiled_switch",
+           "run_noop_cell"]
 
 
 def _best_of(repeats: int, fn) -> float:
@@ -156,6 +157,41 @@ def run_lint_bench(params: Dict[str, Any],
     best = _best_of(repeats, one_round)
     return {"files": len(files), "flow": flow,
             "ns_per_file": best * 1e9 / max(1, len(files))}
+
+
+def run_compiled_switch(params: Dict[str, Any],
+                        seed: Optional[int]) -> Dict[str, Any]:
+    """Compiled-continuation context-switch throughput.
+
+    ``{"flows": n, "rounds": r, "repeats": k}`` — compiles a spin
+    workload once per round and drives ``flows`` continuation state
+    machines through :meth:`FlowMechanism.run_workload` on the fast-path
+    kernel.  The metric is host ns per dispatch (one trampoline step +
+    kernel event), i.e. the switch cost the compiled mechanism trades
+    against user-level threads.
+    """
+    from repro.flows import CompiledContinuationFlow
+    from repro.flows.programs import spin_program
+    from repro.sim import Processor, get_platform
+
+    flows = int(params.get("flows", 5_000))
+    rounds = int(params.get("rounds", 4))
+    repeats = int(params.get("repeats", 3))
+    counters: Dict[str, Any] = {}
+
+    def one_round():
+        mech = CompiledContinuationFlow(
+            Processor(0, get_platform("linux_x86")))
+        run = mech.run_workload(spin_program(flows, rounds),
+                                real_flows=False)
+        counters["dispatches"] = run.dispatches
+        counters["kernel_events"] = run.kernel_events
+
+    best = _best_of(repeats, one_round)
+    return {"flows": flows, "rounds": rounds,
+            "dispatches": counters["dispatches"],
+            "kernel_events": counters["kernel_events"],
+            "ns_per_dispatch": best * 1e9 / max(1, counters["dispatches"])}
 
 
 def run_noop_cell(params: Dict[str, Any],

@@ -98,7 +98,8 @@ class PoseEngine:
         other runtimes."""
         return self.cluster.queue.kernel
 
-    def __init__(self, cluster: Cluster, throttle_window: Optional[float] = None):
+    def __init__(self, cluster: Cluster, throttle_window: Optional[float] = None,
+                 batched_posts: bool = True):
         #: Optimism control (the actual contribution of the POSE paper the
         #: ICPP paper cites: adaptive speculation windows).  An event whose
         #: timestamp is more than ``throttle_window`` ahead of GVT is
@@ -106,6 +107,13 @@ class PoseEngine:
         #: latency for far fewer rollbacks.  ``None`` = unlimited optimism
         #: (classic Time Warp).
         self.throttle_window = throttle_window
+        #: Post consecutive same-PE deliveries through the kernel's bulk
+        #: ingress (:meth:`Cluster.post_after_batch`) instead of one
+        #: ``after`` per event.  Dispatch order and traces are identical
+        #: either way; the toggle exists so the producer-batching bench
+        #: can measure the ingress saving (``tools/bench_kernel.py
+        #: --compare compiled``).
+        self.batched_posts = batched_posts
         self.deferrals = 0
         self.cluster = cluster
         self._posers: Dict[str, Poser] = {}
@@ -200,6 +208,50 @@ class PoseEngine:
             self.cluster.send(src_pe, dst_pe, ev, size_bytes=64 + ev.uid % 7,
                               tag=_TAG)
 
+    def _send_many(self, src_pe: int, evs: List[_Event]) -> None:
+        """Send a run of events, batching consecutive local deliveries.
+
+        A remote send charges the sender's clock (shifting the delivery
+        time of everything after it), so only *consecutive* local
+        deliveries may share one batched post — the pending run is
+        flushed before every remote hop.  With ``batched_posts`` off
+        this degenerates to the per-event :meth:`_send` loop.
+        """
+        if not self.batched_posts:
+            for ev in evs:
+                self._send(src_pe, ev)
+            return
+        pending: List[_Event] = []
+        for ev in evs:
+            if ev.dst not in self._posers:
+                raise ReproError(f"event for unknown poser {ev.dst!r}")
+            if not ev.anti:
+                self._in_flight[ev.uid] = ev.vt
+            if self._pe[ev.dst] == src_pe:
+                pending.append(ev)
+            else:
+                self._flush_local(src_pe, pending)
+                self.cluster.send(src_pe, self._pe[ev.dst], ev,
+                                  size_bytes=64 + ev.uid % 7, tag=_TAG)
+        self._flush_local(src_pe, pending)
+
+    def _flush_local(self, pe: int, pending: List[_Event]) -> None:
+        if not pending:
+            return
+        if len(pending) == 1:
+            # A batch of one pays the trampoline without the ingress
+            # saving; the plain timer path is cheaper and trace-identical.
+            ev = pending.pop()
+            self.cluster.after(pe, self.cluster.platform.event_dispatch_ns,
+                               self._deliver, ev,
+                               category="pose.deliver", flow=ev.dst)
+            return
+        self.cluster.post_after_batch(
+            pe, self.cluster.platform.event_dispatch_ns, self._deliver,
+            [(ev,) for ev in pending], category="pose.deliver",
+            flows=[ev.dst for ev in pending])
+        pending.clear()
+
     def _on_message(self, msg: Message) -> None:
         self._deliver(msg.payload)
 
@@ -246,9 +298,9 @@ class PoseEngine:
             if delay <= 0:
                 raise ReproError(
                     f"{ev.dst}: event delay must be positive, got {delay}")
-            out = _Event(ev.vt + delay, next(self._uid), dst, name, data)
-            record.outputs.append(out)
-            self._send(pe, out)
+            record.outputs.append(
+                _Event(ev.vt + delay, next(self._uid), dst, name, data))
+        self._send_many(pe, record.outputs)
         self._history[ev.dst].append(record)
         self._in_flight.pop(ev.uid, None)
         self.events_processed += 1
@@ -270,17 +322,18 @@ class PoseEngine:
         self._posers[poser_id] = restored
         self._lvt[poser_id] = oldest.vt_before
         pe = self._pe[poser_id]
+        resends: List[_Event] = []
         for record in undone:
             # Cancel this record's outputs with antimessages...
             for out in record.outputs:
                 self.antimessages += 1
-                self._send(pe, _Event(out.vt, out.uid, out.dst, out.name,
+                resends.append(_Event(out.vt, out.uid, out.dst, out.name,
                                       None, anti=True))
             # ...and re-enqueue its own event for re-execution (except the
             # straggler's successors are re-delivered; the events
             # themselves are still valid inputs).
-            self._in_flight[record.event.uid] = record.event.vt
-            self._send(pe, record.event)
+            resends.append(record.event)
+        self._send_many(pe, resends)
 
     def _handle_anti(self, ev: _Event) -> None:
         """An antimessage annihilates its positive twin, wherever it is.

@@ -73,9 +73,14 @@ class EventQueue:
         return self.kernel.post(time, fn, args, category, flow)
 
     def post_batch(self, times, fn: Callable[..., Any], args: tuple = (),
-                   category: str = "", flow: Optional[str] = None) -> list:
+                   category: str = "", flow: Optional[str] = None,
+                   args_list: Optional[list] = None,
+                   flows: Optional[list] = None,
+                   fns: Optional[list] = None) -> list:
         """Bulk handle-free scheduling (see :meth:`EventKernel.post_batch`)."""
-        return self.kernel.post_batch(times, fn, args, category, flow)
+        return self.kernel.post_batch(times, fn, args, category, flow,
+                                      args_list=args_list, flows=flows,
+                                      fns=fns)
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None."""

@@ -1,0 +1,124 @@
+"""The thread-vs-compiled differential oracle (multi-seed, byte-level).
+
+The compiler's whole claim is that it changes the *mechanism*, never
+the *computation*: a generator body and its compiled translation must
+produce byte-identical kernel traces — same events, same order, same
+sequence numbers, same dispatch sites — and identical results, across
+seeds and across every program shape we ship (messaging ring,
+conditional ping-pong, barrier, stencil halo exchange, pure spin).
+
+Byte identity is deliberately stronger than result equality: it pins
+the synchronous-receive optimization (an already-queued message must
+not cost a kernel event in either form), post ordering, and flow
+labels, so a compiler regression cannot hide behind a still-correct
+answer.
+"""
+
+import pytest
+
+from repro.flows import (CompiledContinuationFlow, UserThreadFlow,
+                         WORKLOAD_MECHANISMS)
+from repro.flows.programs import pingpong_program, ring_program, spin_program
+from repro.flows.stencil import stencil_program
+from repro.sim import Processor, get_platform
+
+SEEDS = (7, 11, 13)
+
+
+def make_proc(platform="linux_x86"):
+    return Processor(0, get_platform(platform))
+
+
+def run_form(mechanism_cls, program):
+    return mechanism_cls(make_proc()).run_workload(
+        program, trace=True, real_flows=False)
+
+
+def assert_byte_identical(factory):
+    """Run ``factory()`` under thread and compiled forms; compare."""
+    thread = run_form(UserThreadFlow, factory())
+    compiled = run_form(CompiledContinuationFlow, factory())
+    assert thread.trace_bytes() == compiled.trace_bytes()
+    assert thread.results == compiled.results
+    assert thread.dispatches == compiled.dispatches
+    assert thread.kernel_events == compiled.kernel_events
+    # The comparison must not be vacuous.
+    assert len(thread.trace) > factory().ranks
+    assert len(thread.results) == factory().ranks
+    return thread, compiled
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_ring_traces_byte_identical_across_seeds(seed):
+    # recv + barrier + yield + a suspending loop: every primitive.
+    assert_byte_identical(lambda: ring_program(5, 4, seed=seed))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_pingpong_traces_byte_identical_across_seeds(seed):
+    # Odd rank count: the unpaired rank exercises the conditional
+    # spin branch while the pairs exercise both recv paths.
+    assert_byte_identical(lambda: pingpong_program(5, 3, seed=seed))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_stencil_traces_byte_identical_across_seeds(seed):
+    assert_byte_identical(
+        lambda: stencil_program(4, cells=6, steps=3, seed=seed))
+
+
+def test_spin_traces_byte_identical():
+    thread, compiled = assert_byte_identical(lambda: spin_program(8, 5))
+    # Pure switch load: one dispatch per seed + one per yield round.
+    assert thread.dispatches == 8 * (5 + 1)
+
+
+def test_trace_labels_are_the_shared_dispatch_site():
+    _, compiled = assert_byte_identical(lambda: ring_program(3, 2, seed=7))
+    sites = {e["site"] for e in compiled.trace}
+    # Both forms dispatch through FlowWorld._resume only — a compiled
+    # run must not leak its own dispatch sites into the trace.
+    assert sites == {"FlowWorld._resume"}
+    assert {e["category"] for e in compiled.trace} == {"flow.resume"}
+
+
+def test_synchronous_receive_costs_no_kernel_event():
+    """A message already queued at recv time continues inline in both
+    forms: the ring (send-before-recv) must cost exactly the seed
+    events plus one per explicit yield and one barrier release."""
+    ranks, rounds = 4, 3
+    thread = run_form(UserThreadFlow, ring_program(ranks, rounds, seed=7))
+    compiled = run_form(CompiledContinuationFlow,
+                        ring_program(ranks, rounds, seed=7))
+    # seed batch + (recv resume + yield) per round + barrier release.
+    # The recv resume only posts when the message was NOT yet queued;
+    # equality between forms is the invariant, the ceiling is sanity.
+    assert thread.kernel_events == compiled.kernel_events
+    assert compiled.kernel_events <= ranks * (2 * rounds + 2)
+
+
+def test_three_forms_agree_on_stencil_numerics():
+    """Thread, compiled, hybrid and event-object forms share relax():
+    results must be float-exact equal, not approximately equal."""
+    runs = {}
+    for label, cls in sorted(WORKLOAD_MECHANISMS.items()):
+        program = stencil_program(5, cells=8, steps=4, seed=11)
+        runs[label] = cls(make_proc()).run_workload(
+            program, real_flows=False)
+    reference = runs["cth"].results
+    assert len(reference) == 5
+    for label, run in runs.items():
+        assert run.results == reference, label
+
+
+def test_three_forms_agree_on_ring_results():
+    runs = {
+        label: cls(make_proc()).run_workload(
+            ring_program(6, 3, seed=13), real_flows=False)
+        for label, cls in WORKLOAD_MECHANISMS.items()
+        if label != "event"   # no hand-written event form for the ring
+    }
+    reference = runs["cth"].results
+    assert len(reference) == 6
+    for label, run in runs.items():
+        assert run.results == reference, label

@@ -35,7 +35,8 @@ def test_checked_in_baseline_is_complete():
     assert doc["threshold"] == 1.20
     benches = doc["benches"]
     assert set(benches) == {"kernel_dispatch", "kernel_cancel",
-                            "migration", "exec_overhead", "lint_flow"}
+                            "migration", "exec_overhead", "lint_flow",
+                            "compiled_switch"}
     assert benches["kernel_dispatch"]["ns_per_event"] > 0
     assert benches["kernel_cancel"]["ns_per_event"] > 0
     assert benches["migration"]["ns_per_migration"] > 0
@@ -43,6 +44,8 @@ def test_checked_in_baseline_is_complete():
     assert benches["exec_overhead"]["ns_per_cell"] > 0
     assert benches["lint_flow"]["ns_per_file"] > 0
     assert benches["lint_flow"]["files"] > 60
+    assert benches["compiled_switch"]["ns_per_dispatch"] > 0
+    assert benches["compiled_switch"]["dispatches"] > 0
 
 
 def test_fast_path_kernel_baselines_recorded():

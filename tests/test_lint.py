@@ -37,7 +37,11 @@ def test_gate_covers_the_whole_tree():
             "runners.py",
             # ... and the observability layer (OBS001's home turf)
             "metrics.py", "collect.py", "report.py", "profile.py",
-            "benches.py"} <= names
+            "benches.py",
+            # ... and the flows workload/compiler layer (FLW002's
+            # contract surface: every body here must stay COMPILABLE)
+            "compile.py", "compiled.py", "programs.py", "runtime.py",
+            "hybrid.py", "scale.py"} <= names
 
 
 def test_shipped_tree_is_lint_clean():

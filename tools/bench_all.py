@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """The perf-regression gate: every subsystem's micro-bench, one file.
 
-Runs the kernel/cancel/migration/executor/lint micro-benches (the workers in
+Runs the kernel/cancel/compiled-switch/migration/executor/lint
+micro-benches (the workers in
 :mod:`repro.obs.benches`) through a serial ``repro.exec`` sweep, compares
 each bench's primary metric against the checked-in baseline
 ``BENCH_repro.json`` at the repo root, and **exits nonzero when any
@@ -51,6 +52,11 @@ BENCHES = {
         {"ranks": 8, "pes": 2, "iterations": 2, "repeats": 2},
         {"ranks": 4, "pes": 2, "iterations": 1, "repeats": 1},
         "ns_per_migration"),
+    "compiled_switch": (
+        "repro.obs.benches:run_compiled_switch",
+        {"flows": 5_000, "rounds": 4, "repeats": 3},
+        {"flows": 50, "rounds": 2, "repeats": 1},
+        "ns_per_dispatch"),
     "exec_overhead": (
         "repro.obs.benches:run_exec_bench",
         {"cells": 64, "repeats": 3},

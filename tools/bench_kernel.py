@@ -22,7 +22,14 @@ and emits a ref-vs-fast A/B table instead: the ``schedule()``-API fast
 path, and the bulk ``post_batch``/``cancel_slots`` fast path, each as a
 speedup over the reference implementation.
 
-Run:  PYTHONPATH=src python tools/bench_kernel.py [--compare ref]
+``--compare compiled`` benchmarks the same workload as generator
+threads vs compiled continuation state machines (the two forms must
+agree on results and dispatch counts), plus the batched-vs-looped
+producer ingress for the POSE and BigSim event producers; its report is
+*merged* under the ``"compiled"`` key of ``results/kernel_bench.json``
+so the baseline numbers survive.
+
+Run:  PYTHONPATH=src python tools/bench_kernel.py [--compare ref|compiled]
 """
 
 import argparse
@@ -201,6 +208,184 @@ def make_traced_kernel():
 
 
 # ---------------------------------------------------------------------------
+# --compare compiled: compiled continuations vs user-level threads, plus
+# the batched-vs-looped producer ingress (POSE / BigSim)
+# ---------------------------------------------------------------------------
+
+def _bench_forms(flows, rounds, repeats):
+    """A/B the same spin workload as generator threads vs compiled
+    continuations through the workload-execution contract."""
+    from repro.flows import CompiledContinuationFlow, UserThreadFlow
+    from repro.flows.programs import spin_program
+    from repro.sim import Processor, get_platform
+
+    runs = {}
+
+    def once(cls, label):
+        mech = cls(Processor(0, get_platform("linux_x86")))
+        runs[label] = mech.run_workload(spin_program(flows, rounds),
+                                        real_flows=False)
+
+    best = best_of_interleaved(repeats, {
+        "uthread": lambda: once(UserThreadFlow, "uthread"),
+        "compiled": lambda: once(CompiledContinuationFlow, "compiled"),
+    })
+    table = {}
+    for label, dt in best.items():
+        run = runs[label]
+        table[label] = {
+            "dispatches": run.dispatches,
+            "kernel_events": run.kernel_events,
+            "wall_ms": round(dt * 1e3, 2),
+            "ns_per_dispatch": round(dt * 1e9 / run.dispatches, 1),
+        }
+    # The forms must agree on *what* ran, not just how fast.
+    agree = (runs["uthread"].results == runs["compiled"].results
+             and runs["uthread"].dispatches == runs["compiled"].dispatches)
+    return table, agree
+
+
+def _bench_pose_producer(repeats):
+    """Wall time of a rollback-heavy POSE storm, batched posts on/off."""
+    from repro.core.pup import pup_register
+    from repro.pose import PoseEngine, Poser
+    from repro.sim import Cluster
+
+    class _Chain(Poser):
+        def __init__(self, nxt=""):
+            self.seen = []
+            self.nxt = nxt
+
+        def pup(self, p):
+            self.seen = p.list_double(self.seen)
+            self.nxt = p.str(self.nxt)
+
+        def on_tok(self, data):
+            self.seen.append(float(data))
+            if self.nxt:
+                return [(self.nxt, "tok", data + 1.0, 1.0)]
+            return []
+
+    pup_register(_Chain)
+    stats = {}
+
+    def once(batched):
+        cl = Cluster(2)
+        eng = PoseEngine(cl, throttle_window=None, batched_posts=batched)
+        eng.register("sink", _Chain(nxt="b"), 1)
+        eng.register("b", _Chain(nxt="c"), 0)
+        eng.register("c", _Chain(), 1)
+        for vt in range(60, 0, -1):
+            eng.schedule("sink", "tok", float(vt), at=float(vt))
+        stats[batched] = eng.run()
+
+    best = best_of_interleaved(repeats, {
+        "looped": lambda: once(False),
+        "batched": lambda: once(True),
+    })
+    return {
+        "events_processed": stats[True].events_processed,
+        "rollbacks": stats[True].rollbacks,
+        "identical_stats": stats[True] == stats[False],
+        "looped_ms": round(best["looped"] * 1e3, 2),
+        "batched_ms": round(best["batched"] * 1e3, 2),
+        "speedup": round(best["looped"] / best["batched"], 3),
+    }
+
+
+def _bench_bigsim_producer(repeats):
+    """Wall time of a BigSim run, ghost scatter batched vs per-send."""
+    from repro.ampi.context import AmpiContext
+    from repro.bigsim import BigSimEngine, TargetMachine
+    from repro.workloads.md import MDConfig, MDWorkload
+
+    results = {}
+
+    def once(batched):
+        orig = AmpiContext.send_many
+        if not batched:
+            # The pre-batch producer: one send per item, same semantics.
+            AmpiContext.send_many = lambda self, items: [
+                self.send(d, data, tag, size)
+                for d, data, tag, size in items]
+        try:
+            wl = MDWorkload(MDConfig(dims=(4, 4, 4)))
+            eng = BigSimEngine(4, TargetMachine(dims=(4, 4, 4)), wl,
+                               steps=4, placement="block")
+            results[batched] = eng.run()
+        finally:
+            AmpiContext.send_many = orig
+
+    best = best_of_interleaved(repeats, {
+        "looped": lambda: once(False),
+        "batched": lambda: once(True),
+    })
+    return {
+        "target_procs": results[True].target_processors,
+        "steps": results[True].steps,
+        "identical_results": results[True] == results[False],
+        "looped_ms": round(best["looped"] * 1e3, 2),
+        "batched_ms": round(best["batched"] * 1e3, 2),
+        "speedup": round(best["looped"] / best["batched"], 3),
+    }
+
+
+def _bench_send_ingress(n_msgs, repeats):
+    """Pure producer ingress: ``Cluster.send_batch`` vs a ``send`` loop.
+
+    The end-to-end POSE/BigSim numbers are dominated by snapshotting and
+    application work; this isolates the posting path itself, which is
+    where the batch adoption pays (and why the producers adopted it).
+    """
+    from repro.sim import Cluster
+
+    items = [((i % 7) + 1, ("x", i), 64) for i in range(n_msgs)]
+
+    def looped():
+        cl = Cluster(8)
+        for dst, payload, size in items:
+            cl.send(0, dst, payload, size, tag="t")
+
+    def batched():
+        Cluster(8).send_batch(0, items, tag="t")
+
+    best = best_of_interleaved(repeats, {"looped": looped,
+                                         "batched": batched})
+    return {
+        "messages": n_msgs,
+        "looped_ns_per_msg": round(best["looped"] * 1e9 / n_msgs, 1),
+        "batched_ns_per_msg": round(best["batched"] * 1e9 / n_msgs, 1),
+        "speedup": round(best["looped"] / best["batched"], 3),
+    }
+
+
+def run_compiled_compare(args):
+    """Compiled-vs-uthread A/B plus producer-batching before/after.
+
+    The report lands under the ``"compiled"`` key of
+    ``results/kernel_bench.json``, *merged* into whatever baseline
+    report the file already holds so the ref/legacy numbers survive.
+    """
+    forms, agree = _bench_forms(args.flows, 4, args.repeats)
+    ingress = _bench_send_ingress(600, max(5, args.repeats))
+    pose = _bench_pose_producer(args.repeats)
+    bigsim = _bench_bigsim_producer(max(2, args.repeats // 2))
+    return {
+        "config": {"flows": args.flows, "rounds": 4,
+                   "repeats": args.repeats},
+        "forms": forms,
+        "producer_batching": {"send_ingress": ingress,
+                              "pose": pose, "bigsim": bigsim},
+        "acceptance": {
+            "forms_agree": agree,
+            "send_batch_ingress_faster": ingress["speedup"] > 1.0,
+            "pose_batched_identical": pose["identical_stats"],
+            "bigsim_batched_identical": bigsim["identical_results"],
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
 # --compare ref: frozen reference kernel vs the fast path
 # ---------------------------------------------------------------------------
 
@@ -282,9 +467,14 @@ def main(argv=None):
                     help="queued events during len() polling")
     ap.add_argument("--polls", type=int, default=10_000)
     ap.add_argument("--repeats", type=int, default=5)
-    ap.add_argument("--compare", choices=("legacy", "ref"), default="legacy",
-                    help="baseline: the pre-kernel legacy queue (default) "
-                         "or the frozen reference kernel (ref-vs-fast A/B)")
+    ap.add_argument("--flows", type=int, default=20_000,
+                    help="flow count for --compare compiled")
+    ap.add_argument("--compare", choices=("legacy", "ref", "compiled"),
+                    default="legacy",
+                    help="baseline: the pre-kernel legacy queue (default), "
+                         "the frozen reference kernel (ref-vs-fast A/B), "
+                         "or compiled continuations vs user-level threads "
+                         "plus the batched-producer before/after")
     ap.add_argument("--out", default=os.path.join(
         os.path.dirname(__file__), "..", "results", "kernel_bench.json"))
     args = ap.parse_args(argv)
@@ -295,6 +485,23 @@ def main(argv=None):
         os.makedirs(os.path.dirname(out), exist_ok=True)
         with open(out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(json.dumps(report, indent=2, sort_keys=True))
+        ok = all(report["acceptance"].values())
+        print(f"\nacceptance: {'PASS' if ok else 'FAIL'}  ({out})")
+        return 0 if ok else 1
+
+    if args.compare == "compiled":
+        report = run_compiled_compare(args)
+        out = os.path.abspath(args.out)
+        os.makedirs(os.path.dirname(out), exist_ok=True)
+        merged = {}
+        if os.path.exists(out):
+            with open(out) as fh:
+                merged = json.load(fh)
+        merged["compiled"] = report
+        with open(out, "w") as fh:
+            json.dump(merged, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(json.dumps(report, indent=2, sort_keys=True))
         ok = all(report["acceptance"].values())
