@@ -69,11 +69,17 @@ class SweepExecutor:
             def notify(event: str, payload: dict) -> None:
                 self._emit("exec." + event, payload)
 
-            fresh = self.backend.run(todo, self.spec.runners(), notify)
-            for cell, result in zip(todo, fresh):
-                by_id[cell.cell_id] = result
+            def on_result(cell, result) -> None:
+                # Persist each cell the moment it lands — a sweep killed
+                # mid-run resumes from every finished cell, which is
+                # what the serve journal's replay-from-cache rests on.
                 if self.cache is not None:
                     self.cache.put(cell, result)
+
+            fresh = self.backend.run(todo, self.spec.runners(), notify,
+                                     on_result=on_result)
+            for cell, result in zip(todo, fresh):
+                by_id[cell.cell_id] = result
         merged = [by_id[c.cell_id] for c in self.spec.merged_order()]
         self._emit("exec.sweep.end", {
             "name": self.spec.name,

@@ -1,7 +1,11 @@
 """Sweep backends: where cells actually run.
 
 Two interchangeable backends share one contract — ``run(cells,
-warmup_runners, notify) -> [CellResult]`` aligned with the input order:
+warmup_runners, notify, on_result=None) -> [CellResult]`` aligned with
+the input order (``on_result(cell, result)`` fires the moment each
+cell's result is final, so callers like the
+:class:`~repro.exec.cache.ResultCache` can persist incrementally — a
+killed sweep keeps every cell it finished):
 
 * :class:`SerialBackend` executes cells in-process, in order.  It is the
   debugging reference: ``--jobs 1`` goes through it, and a parallel run
@@ -33,10 +37,14 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.errors import ReproError
 from repro.exec.spec import Cell, CellResult, resolve_runner
 
-__all__ = ["SerialBackend", "LocalPool", "make_backend", "run_cell"]
+__all__ = ["SerialBackend", "LocalPool", "make_backend", "run_cell",
+           "register_backend", "backend_from_spec", "backend_names"]
 
 #: notify callback: ``notify(event, payload_dict)``.
 Notify = Callable[[str, dict], None]
+
+#: per-result callback: ``on_result(cell, result)`` as each cell lands.
+OnResult = Optional[Callable[[Cell, CellResult], None]]
 
 
 def run_cell(cell: Cell) -> dict:
@@ -69,7 +77,7 @@ class SerialBackend:
     jobs = 1
 
     def run(self, cells: Sequence[Cell], warmup_runners: Sequence[str],
-            notify: Notify) -> List[CellResult]:
+            notify: Notify, on_result: OnResult = None) -> List[CellResult]:
         results: List[CellResult] = []
         for cell in cells:
             notify("cell.start", {"cell_id": cell.cell_id})
@@ -78,6 +86,8 @@ class SerialBackend:
                                 value=raw["value"], error=raw["error"],
                                 duration_s=raw["duration_s"])
             results.append(result)
+            if on_result is not None:
+                on_result(cell, result)
             notify("cell.done", {"cell_id": cell.cell_id,
                                  "status": result.status,
                                  "duration_s": result.duration_s,
@@ -150,7 +160,7 @@ class LocalPool:
         self._ctx = multiprocessing.get_context(start_method)
 
     def run(self, cells: Sequence[Cell], warmup_runners: Sequence[str],
-            notify: Notify) -> List[CellResult]:
+            notify: Notify, on_result: OnResult = None) -> List[CellResult]:
         cells = list(cells)
         if not cells:
             return []
@@ -188,7 +198,8 @@ class LocalPool:
                         timeout=self._POLL_S)
                 except queue_mod.Empty:
                     self._handle_dead_workers(cells, workers, todo, attempts,
-                                              results, notify, spawn)
+                                              results, notify, spawn,
+                                              on_result)
                     dispatch_idle()
                     continue
                 worker = workers.get(token)
@@ -203,6 +214,8 @@ class LocalPool:
                         value=raw["value"], error=raw["error"],
                         attempts=attempts[idx],
                         duration_s=raw["duration_s"])
+                    if on_result is not None:
+                        on_result(cells[idx], results[idx])
                     notify("cell.done", {"cell_id": cells[idx].cell_id,
                                          "status": raw["status"],
                                          "duration_s": raw["duration_s"],
@@ -230,7 +243,8 @@ class LocalPool:
             result_q.close()
 
     def _handle_dead_workers(self, cells, workers, todo, attempts, results,
-                             notify, spawn) -> None:
+                             notify, spawn, on_result: OnResult = None
+                             ) -> None:
         """Contain hard crashes: retry the held cell once, then error."""
         for token in sorted(workers):
             w = workers[token]
@@ -261,6 +275,8 @@ class LocalPool:
                            f"traceback — the crash killed the "
                            f"interpreter"),
                     attempts=attempts[idx])
+                if on_result is not None:
+                    on_result(cell, results[idx])
                 notify("cell.done", {"cell_id": cell.cell_id,
                                      "status": "error", "duration_s": 0.0,
                                      "attempts": attempts[idx],
@@ -274,3 +290,62 @@ def make_backend(jobs: int):
     if jobs < 1:
         raise ReproError(f"--jobs must be >= 1, got {jobs}")
     return SerialBackend() if jobs == 1 else LocalPool(jobs=jobs)
+
+
+def _make_serial(jobs: Optional[int]):
+    return SerialBackend()
+
+
+def _make_local(jobs: Optional[int]):
+    # ``None`` keeps LocalPool's own default (one worker per CPU).
+    return LocalPool(jobs=jobs)
+
+
+#: The pluggable backend registry: name -> ``factory(jobs) -> backend``.
+#: Populated once at import with the two in-tree backends; a multi-host
+#: backend registers here without the service or CLI changing.
+_BACKENDS: Dict[str, Callable] = {
+    "serial": _make_serial,
+    "local": _make_local,
+}
+
+
+def register_backend(name: str, factory: Callable) -> None:
+    """Register ``factory(jobs) -> backend`` under ``name``.
+
+    Factories must return objects honouring the ``run(cells,
+    warmup_runners, notify, on_result=None)`` contract.  Re-registering
+    a taken name is an error — silently shadowing ``serial`` would
+    change what ``--jobs 1`` means.
+    """
+    if name in _BACKENDS:
+        raise ReproError(f"backend {name!r} is already registered")
+    _BACKENDS[name] = factory
+
+
+def backend_names() -> List[str]:
+    """The registered backend names, sorted (for CLI help/validation)."""
+    return sorted(_BACKENDS)
+
+
+def backend_from_spec(spec: str, jobs: Optional[int] = None):
+    """Build a backend from a ``name`` or ``name:jobs`` spec string.
+
+    ``"serial"`` → the in-process reference; ``"local:4"`` → a 4-worker
+    :class:`LocalPool`; an explicit ``jobs`` argument wins over the
+    suffix.  Unknown names list the registry in the error.
+    """
+    name, _, suffix = spec.partition(":")
+    if suffix:
+        try:
+            jobs = int(suffix) if jobs is None else jobs
+        except ValueError:
+            raise ReproError(f"backend spec {spec!r}: jobs suffix must be "
+                             f"an integer")
+    factory = _BACKENDS.get(name)
+    if factory is None:
+        raise ReproError(f"unknown backend {name!r}; registered: "
+                         f"{', '.join(backend_names())}")
+    if jobs is not None and jobs < 1:
+        raise ReproError(f"backend jobs must be >= 1, got {jobs}")
+    return factory(jobs)

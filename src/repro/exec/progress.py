@@ -42,16 +42,20 @@ class ProgressReporter:
     """
 
     def __init__(self, bus: HookBus, stream: Optional[TextIO] = None,
-                 registry=None):
+                 registry=None, clock=None):
         self.bus = bus
         self.stream = stream if stream is not None else sys.stderr
         self.registry = registry
+        # Injectable clock so the ETA math is testable with fake time;
+        # the wall clock only ever feeds the operator display.
+        # migralint: disable=DET001
+        self._clock = clock if clock is not None else time.monotonic
         self.total = 0
         self.done = 0
         self.failed = 0
         self.running = 0
         self.crashes = 0
-        self._t0 = 0.0
+        self._t0: Optional[float] = None     # set by exec.sweep.begin
         self._live = self.stream.isatty() if hasattr(
             self.stream, "isatty") else False
         self._subscribed = []
@@ -74,8 +78,7 @@ class ProgressReporter:
     def _on_begin(self, payload, **ctx):
         self.total = payload["cells"]
         # Wall clock feeds the operator-facing ETA line only.
-        # migralint: disable=DET001
-        self._t0 = time.monotonic()
+        self._t0 = self._clock()
         if self.registry is not None:
             self.registry.gauge("exec.cells.total").set(self.total)
         return payload
@@ -123,9 +126,20 @@ class ProgressReporter:
     # -- rendering ------------------------------------------------------
 
     def _eta_s(self) -> Optional[float]:
-        if not self.done or self.done >= self.total:
+        """Extrapolated seconds remaining, or ``None`` when unknowable.
+
+        ``None`` (no ETA shown) rather than a nonsense number when:
+        no cell has finished; the sweep is done; ``exec.sweep.begin``
+        never fired (``_t0`` unset — extrapolating from epoch would
+        claim a gigantic ETA); or the first completion landed within
+        timer resolution (elapsed ≤ 0 — zero would claim the rest of
+        the sweep is free, and a clock hiccup would go negative).
+        """
+        if not self.done or self.done >= self.total or self._t0 is None:
             return None
-        elapsed = time.monotonic() - self._t0  # migralint: disable=DET001
+        elapsed = self._clock() - self._t0
+        if elapsed <= 0.0:
+            return None
         return elapsed / self.done * (self.total - self.done)
 
     def _line(self) -> str:

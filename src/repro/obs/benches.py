@@ -20,7 +20,7 @@ from typing import Any, Dict, Optional
 
 __all__ = ["run_kernel_bench", "run_cancel_bench", "run_migration_bench",
            "run_exec_bench", "run_lint_bench", "run_compiled_switch",
-           "run_noop_cell"]
+           "run_serve_dedupe", "run_noop_cell"]
 
 
 def _best_of(repeats: int, fn) -> float:
@@ -192,6 +192,50 @@ def run_compiled_switch(params: Dict[str, Any],
             "dispatches": counters["dispatches"],
             "kernel_events": counters["kernel_events"],
             "ns_per_dispatch": best * 1e9 / max(1, counters["dispatches"])}
+
+
+def run_serve_dedupe(params: Dict[str, Any],
+                     seed: Optional[int]) -> Dict[str, Any]:
+    """The sweep service's cache-hit fast path: a fully deduped sweep.
+
+    ``{"cells": n, "repeats": k}`` — populates a sharded
+    :class:`~repro.exec.cache.ResultCache` with ``n`` no-op cells, then
+    times re-running the identical sweep: every cell is a content-hash
+    hit served from disk, which is the path an identical submission
+    takes through ``repro.serve``.  The metric is host ns per deduped
+    cell (hash the cell, find the shard, read + verify the entry,
+    merge) — the marginal cost of serving a duplicate request.
+    """
+    import shutil
+    import tempfile
+
+    from repro.exec import Cell, ResultCache, SweepExecutor, SweepSpec
+
+    n = int(params.get("cells", 256))
+    repeats = int(params.get("repeats", 3))
+    root = tempfile.mkdtemp(prefix="serve-dedupe-bench-")
+    try:
+        cache = ResultCache(root)
+        cells = [Cell(experiment="dedupe",
+                      runner="repro.obs.benches:run_noop_cell",
+                      params={"i": i}, seed=i) for i in range(n)]
+        spec = SweepSpec(name="bench-serve-dedupe", cells=cells)
+        SweepExecutor(spec, cache=cache).run()          # populate: all miss
+
+        hit_counts = []
+
+        def one_round():
+            results = SweepExecutor(spec, cache=cache).run()
+            hit_counts.append(sum(1 for r in results if r.cached))
+
+        best = _best_of(repeats, one_round)
+        if any(hits != n for hits in hit_counts):       # pragma: no cover
+            raise RuntimeError(f"dedupe bench expected {n} hits/round, "
+                               f"got {hit_counts}")
+        shards = cache.stats()["shards"]
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {"cells": n, "shards": shards, "ns_per_cell": best * 1e9 / n}
 
 
 def run_noop_cell(params: Dict[str, Any],

@@ -1,0 +1,87 @@
+"""``python -m repro.serve`` — run the sweep service.
+
+Example::
+
+    python -m repro.serve --socket /tmp/repro.sock \\
+        --cache ~/.cache/repro-sweeps --journal ~/.cache/repro.journal \\
+        --backend local --jobs 4
+
+The service replays any pending journal entries (sweeps interrupted by
+a previous shutdown or crash), then accepts newline-JSON submissions on
+the Unix socket until a ``shutdown`` op or SIGINT/SIGTERM.  See
+``docs/serve.md`` for the protocol and restart semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import os
+import signal
+import sys
+
+from repro.exec import backend_names
+from repro.serve.service import SweepService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Restartable sweep service with a sharded dedupe cache")
+    parser.add_argument("--socket", required=True,
+                        help="Unix socket path to listen on")
+    parser.add_argument("--cache", required=True,
+                        help="sharded ResultCache root directory")
+    parser.add_argument("--journal", required=True,
+                        help="append-only submission journal path")
+    parser.add_argument("--backend", default="serial",
+                        help=f"execution backend "
+                             f"({', '.join(backend_names())}; "
+                             f"default: serial)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker count for pooled backends")
+    parser.add_argument("--rotate-after", type=int, default=256,
+                        help="journal compaction threshold in completed "
+                             "sweeps (default: 256)")
+    return parser
+
+
+async def amain(args: argparse.Namespace) -> int:
+    if os.path.exists(args.socket):
+        # A previous unclean exit leaves the socket file behind; binding
+        # needs the path free.  Only ever remove a *socket*.
+        import stat
+        if stat.S_ISSOCK(os.stat(args.socket).st_mode):
+            os.unlink(args.socket)
+        else:
+            print(f"refusing to remove non-socket {args.socket!r}",
+                  file=sys.stderr)
+            return 2
+    service = SweepService(args.socket, cache_root=args.cache,
+                           journal_path=args.journal,
+                           backend=args.backend, jobs=args.jobs,
+                           rotate_after=args.rotate_after)
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(sig, service._stopping.set)
+    pending = service.journal.stats()["pending"]
+    print(f"[serve] replaying {pending} pending sweep(s); "
+          f"listening on {args.socket}", file=sys.stderr, flush=True)
+    await service.serve_forever()
+    print("[serve] stopped", file=sys.stderr, flush=True)
+    with contextlib.suppress(OSError):
+        os.unlink(args.socket)
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(amain(args))
+    except KeyboardInterrupt:  # pragma: no cover - double Ctrl-C
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

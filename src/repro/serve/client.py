@@ -1,0 +1,132 @@
+"""`repro.serve.client` — the blocking client helper.
+
+The service side is asyncio; the client side deliberately is not.
+Submitting a sweep from a test, a notebook, or another tool is a
+straight-line act — connect, write a line, read lines — so
+:class:`ServeClient` wraps a plain Unix-domain socket and exposes the
+protocol ops as methods.  Every method returns the decoded response
+dict; :meth:`submit` can additionally yield streamed progress events to
+a callback as they arrive.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.serve import protocol
+
+__all__ = ["ServeClient", "wait_until_up"]
+
+
+def wait_until_up(socket_path: str, timeout_s: float = 10.0) -> bool:
+    """Poll until the service answers a ping (or the timeout passes).
+
+    Host-side readiness polling for tests and the smoke driver; nothing
+    deterministic depends on it.
+    """
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if os.path.exists(socket_path):
+            try:
+                with ServeClient(socket_path) as client:
+                    if client.ping().get("pong"):
+                        return True
+            except (OSError, ReproError):
+                pass
+        time.sleep(0.02)
+    return False
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.service.SweepService`."""
+
+    def __init__(self, socket_path: str, timeout_s: float = 600.0):
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout_s)
+        self._sock.connect(socket_path)
+        self._fh = self._sock.makefile("rb")
+
+    # -- plumbing -------------------------------------------------------
+
+    def _send(self, msg: Dict[str, Any]) -> None:
+        self._sock.sendall(protocol.encode(msg))
+
+    def _recv(self) -> Dict[str, Any]:
+        line = self._fh.readline()
+        if not line:
+            raise ReproError("service closed the connection")
+        return protocol.decode(line)
+
+    def request(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        """One request, one response."""
+        self._send(msg)
+        return self._recv()
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- ops ------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def status(self) -> Dict[str, Any]:
+        return self.request({"op": "status"})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def result(self, sweep_id: str) -> Dict[str, Any]:
+        return self.request({"op": "result", "sweep_id": sweep_id})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+    def submit(self, name: str, cells: Sequence[Dict[str, Any]],
+               wait: bool = True, watch: bool = False,
+               on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+               ) -> Dict[str, Any]:
+        """Submit a sweep of wire cells.
+
+        With ``wait`` (default) the call blocks until the terminal
+        ``sweep.end``/``sweep.failed`` event and returns it (including
+        the merged ``results``); with ``watch``, every streamed progress
+        event is handed to ``on_event`` first.  With ``wait=False`` the
+        submission ack (``sweep_id``) comes straight back and the
+        caller polls :meth:`result`.
+        """
+        self._send({"op": "submit", "name": name, "cells": list(cells),
+                    "wait": wait, "watch": watch})
+        ack = self._recv()
+        if not ack.get("ok") or not (wait or watch):
+            return ack
+        while True:
+            event = self._recv()
+            if on_event is not None and "event" in event:
+                on_event(event)
+            if event.get("event") in ("sweep.end", "sweep.failed"):
+                event["ack"] = ack
+                return event
+
+    def submit_and_wait(self, name: str,
+                        cells: Sequence[Dict[str, Any]],
+                        ) -> List[Dict[str, Any]]:
+        """Submit and return just the merged semantic results."""
+        final = self.submit(name, cells, wait=True)
+        if final.get("event") != "sweep.end":
+            raise ReproError(f"sweep did not complete: {final!r}")
+        return final["results"]

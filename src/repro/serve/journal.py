@@ -1,0 +1,170 @@
+"""The append-only submission journal: what makes the service restartable.
+
+Every accepted sweep is durably recorded *before* a single cell runs,
+and marked done after its last cell — two record types on one
+append-only JSON-lines file:
+
+``{"type": "submit", "sweep_id": ..., "name": ..., "cells": [...]}``
+    fsync'd to disk before the submit is acknowledged; the cells are in
+    wire form (plain data), so the record alone can rebuild the sweep.
+``{"type": "done", "sweep_id": ..., "ok": n, "error": m}``
+    appended when the sweep's merged results are in hand.
+
+A service killed at any point therefore restarts into one of two
+states per sweep: *done* (both records present — nothing to do) or
+*pending* (submit without done — re-run it).  Re-running is cheap
+because the executor persists every finished cell to the
+:class:`~repro.exec.cache.ResultCache` incrementally: replay re-submits
+the sweep and the cells that completed before the kill come back as
+cache hits, so an interrupted sweep finishes instead of starting over.
+
+The journal only ever grows by appends; compaction is **write-rename
+rotation**: the pending records are rewritten to ``<path>.rotate.tmp``,
+fsync'd, and ``os.replace``'d over the journal, so a crash mid-rotation
+leaves either the old complete journal or the new complete one — never
+a torn file.  A torn *trailing* line (the kill landed mid-append) is
+tolerated on read and dropped on the next rotation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["SubmissionJournal"]
+
+
+class SubmissionJournal:
+    """Fsync'd append-only record of sweep submissions and completions."""
+
+    def __init__(self, path: str, rotate_after: int = 256):
+        self.path = path
+        #: Rotate once this many completed sweeps are sitting in the
+        #: journal as dead submit/done pairs.
+        self.rotate_after = max(1, int(rotate_after))
+        self.rotations = 0
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._fh = open(path, "a", encoding="utf-8")
+
+    # -- writing --------------------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Durably append one record (write + flush + fsync)."""
+        if "type" not in record or "sweep_id" not in record:
+            raise ReproError(
+                f"journal records need type and sweep_id: {record!r}")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def submit(self, sweep_id: str, name: str,
+               cells: List[Dict[str, Any]]) -> None:
+        """Record an accepted sweep; must land before execution starts."""
+        self.append({"type": "submit", "sweep_id": sweep_id,
+                     "name": name, "cells": cells})
+
+    def done(self, sweep_id: str, ok: int, error: int) -> None:
+        """Record a completed sweep, then compact if enough dead pairs
+        have accumulated."""
+        self.append({"type": "done", "sweep_id": sweep_id,
+                     "ok": ok, "error": error})
+        if self._completed_records() >= self.rotate_after:
+            self.rotate()
+
+    # -- reading --------------------------------------------------------
+
+    def scan(self) -> Tuple[List[Dict[str, Any]], int]:
+        """All decodable records plus the count of dropped torn lines.
+
+        Only a *trailing* torn line is expected (a kill mid-append);
+        mid-file garbage is also skipped rather than aborting the
+        restart, because refusing to start over one bad line would turn
+        a crash the journal exists to survive into an outage.
+        """
+        records: List[Dict[str, Any]] = []
+        dropped = 0
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        rec = json.loads(line)
+                    except ValueError:
+                        dropped += 1
+                        continue
+                    if isinstance(rec, dict) and "sweep_id" in rec:
+                        records.append(rec)
+                    else:
+                        dropped += 1
+        except OSError:
+            return [], 0
+        return records, dropped
+
+    def pending(self) -> List[Dict[str, Any]]:
+        """Submit records with no matching done — the replay worklist,
+        in original submission order."""
+        records, _ = self.scan()
+        finished = {r["sweep_id"] for r in records if r["type"] == "done"}
+        return [r for r in records
+                if r["type"] == "submit" and r["sweep_id"] not in finished]
+
+    def next_sweep_number(self) -> int:
+        """1 + the highest numeric sweep id on record, so ids never
+        repeat across restarts (results from two lives of the service
+        must not collide)."""
+        records, _ = self.scan()
+        highest = 0
+        for rec in records:
+            sid = str(rec.get("sweep_id", ""))
+            tail = sid.rsplit("-", 1)[-1]
+            if tail.isdigit():
+                highest = max(highest, int(tail))
+        return highest + 1
+
+    def _completed_records(self) -> int:
+        records, _ = self.scan()
+        done = {r["sweep_id"] for r in records if r["type"] == "done"}
+        return sum(1 for r in records
+                   if r["type"] == "submit" and r["sweep_id"] in done)
+
+    # -- rotation -------------------------------------------------------
+
+    def rotate(self) -> int:
+        """Compact to pending-only via write-rename; returns the number
+        of records dropped (dead pairs plus torn lines)."""
+        records, dropped = self.scan()
+        keep = self.pending()
+        tmp = self.path + ".rotate.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for rec in keep:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._fh.close()
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self.rotations += 1
+        return len(records) - len(keep) + dropped
+
+    def stats(self) -> Dict[str, int]:
+        records, dropped = self.scan()
+        return {"records": len(records), "pending": len(self.pending()),
+                "dropped": dropped, "rotations": self.rotations}
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SubmissionJournal":
+        return self
+
+    def __exit__(self, *exc) -> Optional[bool]:
+        self.close()
+        return None

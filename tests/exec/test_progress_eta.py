@@ -1,0 +1,88 @@
+"""ProgressReporter ETA math under a fake clock.
+
+Regression suite for the sub-millisecond-first-cell audit: the
+``elapsed/done`` extrapolation used to return 0.0 when the first
+completion landed within timer resolution (claiming the rest of the
+sweep was free), went negative if the clock stepped backwards, and —
+with ``_t0`` initialised to ``0.0`` instead of "unset" — produced a
+gigantic ETA if a ``cell.done`` ever arrived without its
+``sweep.begin``.  All three now render as "no ETA" (``None``).
+"""
+
+import io
+
+from repro.exec import ProgressReporter
+from repro.kernel import HookBus
+
+
+class FakeClock:
+    """A scripted monotonic clock: returns ``times`` in order."""
+
+    def __init__(self, *times):
+        self.times = list(times)
+
+    def __call__(self):
+        return self.times.pop(0) if len(self.times) > 1 else self.times[0]
+
+
+def reporter(clock, total=4):
+    bus = HookBus()
+    rep = ProgressReporter(bus, stream=io.StringIO(), clock=clock)
+    bus.filter("exec.sweep.begin", {"name": "eta", "cells": total,
+                                    "cached": 0})
+    return bus, rep
+
+
+def done(bus, n=1):
+    for i in range(n):
+        bus.filter("exec.cell.start", {"cell_id": f"c/{i}"})
+        bus.filter("exec.cell.done", {"cell_id": f"c/{i}", "status": "ok",
+                                      "duration_s": 0.0, "attempts": 1,
+                                      "cached": False})
+
+
+def test_normal_extrapolation():
+    bus, rep = reporter(FakeClock(100.0, 110.0))
+    done(bus)
+    assert rep._eta_s() == 30.0          # 10s for 1 of 4 => 30s left
+
+
+def test_first_cell_within_timer_resolution_gives_no_eta():
+    # begin and the ETA read see the same clock tick: elapsed == 0.
+    bus, rep = reporter(FakeClock(100.0, 100.0))
+    done(bus)
+    assert rep._eta_s() is None
+
+
+def test_backwards_clock_never_yields_negative_eta():
+    bus, rep = reporter(FakeClock(100.0, 99.0))
+    done(bus)
+    eta = rep._eta_s()
+    assert eta is None or eta >= 0.0
+    assert eta is None                   # clamped, not "repaired"
+
+
+def test_done_without_begin_gives_no_eta():
+    bus = HookBus()
+    rep = ProgressReporter(bus, stream=io.StringIO(),
+                           clock=FakeClock(1e9))
+    # A stray cell.done with no sweep.begin: _t0 must read as "unset",
+    # not epoch (which used to extrapolate a billion-second ETA).
+    rep.total = 4
+    bus.filter("exec.cell.done", {"cell_id": "c/0", "status": "ok",
+                                  "duration_s": 0.0, "attempts": 1,
+                                  "cached": False})
+    assert rep.done == 1
+    assert rep._eta_s() is None
+
+
+def test_no_eta_once_sweep_is_complete():
+    bus, rep = reporter(FakeClock(0.0, 10.0), total=2)
+    done(bus, n=2)
+    assert rep._eta_s() is None
+
+
+def test_eta_renders_into_the_progress_line():
+    bus, rep = reporter(FakeClock(0.0, 10.0, 10.0))
+    done(bus)
+    assert "ETA 30.0s" in rep._line()

@@ -1,0 +1,81 @@
+"""Shared serve-test harness: a live in-process service on a temp socket.
+
+The service's asyncio loop runs on a daemon thread; tests talk to it
+through the blocking :class:`ServeClient` exactly the way real clients
+do.  Teardown sends the protocol ``shutdown`` op, so every test also
+exercises the graceful-stop path.
+"""
+
+import asyncio
+import contextlib
+import threading
+
+import pytest
+
+from repro.serve import ServeClient, SweepService, wait_until_up
+
+ECHO = "tests.exec.workers:echo"
+BOOM = "tests.exec.workers:boom"
+SLOW = "tests.exec.workers:slow_echo"
+
+
+def wire_cells(n=3, runner=ECHO, experiment="t:serve", **params):
+    return [{"experiment": experiment, "runner": runner,
+             "params": dict(params), "seed": s} for s in range(n)]
+
+
+class LiveService:
+    """A SweepService running on its own loop thread."""
+
+    def __init__(self, tmp_path, **kwargs):
+        # Unix socket paths are length-limited (~107 bytes); pytest tmp
+        # paths stay well under that in this suite.
+        self.socket_path = str(tmp_path / "serve.sock")
+        self.cache_root = str(tmp_path / "cache")
+        self.journal_path = str(tmp_path / "journal.jsonl")
+        self.kwargs = kwargs
+        self.service = None
+        self._thread = None
+        self._started = threading.Event()
+        self._failure = None
+
+    def start(self):
+        def run():
+            async def main():
+                self.service = SweepService(
+                    self.socket_path, cache_root=self.cache_root,
+                    journal_path=self.journal_path, **self.kwargs)
+                await self.service.start()
+                self._started.set()
+                await self.service.serve_forever()
+            try:
+                asyncio.run(main())
+            except Exception as e:  # pragma: no cover - harness failure
+                self._failure = e
+                self._started.set()
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+        assert self._started.wait(15), "service thread never started"
+        if self._failure is not None:
+            raise self._failure
+        assert wait_until_up(self.socket_path, 15)
+        return self
+
+    def client(self, **kw):
+        return ServeClient(self.socket_path, **kw)
+
+    def stop(self):
+        if self._thread is None or not self._thread.is_alive():
+            return
+        with contextlib.suppress(Exception):
+            with self.client(timeout_s=15) as c:
+                c.shutdown()
+        self._thread.join(30)
+        assert not self._thread.is_alive(), "service failed to stop"
+
+
+@pytest.fixture
+def live_service(tmp_path):
+    svc = LiveService(tmp_path).start()
+    yield svc
+    svc.stop()

@@ -1,0 +1,114 @@
+"""SubmissionJournal: durability, replay worklists, write-rename rotation."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve import SubmissionJournal
+
+CELLS = [{"experiment": "t", "runner": "tests.exec.workers:echo",
+          "params": {}, "seed": 0}]
+
+
+def test_submit_then_done_leaves_nothing_pending(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with SubmissionJournal(path) as j:
+        j.submit("sweep-000001", "demo", CELLS)
+        assert [r["sweep_id"] for r in j.pending()] == ["sweep-000001"]
+        j.done("sweep-000001", ok=1, error=0)
+        assert j.pending() == []
+        assert j.stats()["records"] == 2
+
+
+def test_pending_survives_reopen(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with SubmissionJournal(path) as j:
+        j.submit("sweep-000001", "done-one", CELLS)
+        j.done("sweep-000001", ok=1, error=0)
+        j.submit("sweep-000002", "interrupted", CELLS)
+    with SubmissionJournal(path) as j:        # the restart
+        (rec,) = j.pending()
+        assert rec["sweep_id"] == "sweep-000002"
+        assert rec["name"] == "interrupted"
+        assert rec["cells"] == CELLS          # enough to rebuild the sweep
+
+
+def test_torn_trailing_line_is_dropped_not_fatal(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with SubmissionJournal(path) as j:
+        j.submit("sweep-000001", "demo", CELLS)
+    with open(path, "a") as fh:
+        fh.write('{"type": "done", "sweep_id": "sweep-0')   # kill mid-append
+    with SubmissionJournal(path) as j:
+        assert [r["sweep_id"] for r in j.pending()] == ["sweep-000001"]
+        assert j.stats()["dropped"] == 1
+
+
+def test_rotation_compacts_to_pending_only(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    j = SubmissionJournal(path, rotate_after=10**9)   # no auto-rotate
+    for i in range(5):
+        j.submit(f"sweep-{i:06d}", "dead", CELLS)
+        j.done(f"sweep-{i:06d}", ok=1, error=0)
+    j.submit("sweep-000099", "live", CELLS)
+    dropped = j.rotate()
+    assert dropped == 10                              # 5 dead pairs
+    with open(path) as fh:
+        lines = [json.loads(line) for line in fh]
+    assert [r["sweep_id"] for r in lines] == ["sweep-000099"]
+    # The journal stays usable for appends after rotation.
+    j.done("sweep-000099", ok=1, error=0)
+    assert j.pending() == []
+    assert j.stats()["rotations"] == 1
+    j.close()
+
+
+def test_auto_rotation_fires_on_completed_threshold(tmp_path):
+    j = SubmissionJournal(str(tmp_path / "j.jsonl"), rotate_after=2)
+    for i in range(4):
+        j.submit(f"sweep-{i:06d}", "x", CELLS)
+        j.done(f"sweep-{i:06d}", ok=1, error=0)
+    assert j.rotations >= 1
+    assert j.stats()["records"] < 8       # dead pairs were compacted away
+    j.close()
+
+
+def test_next_sweep_number_never_repeats_across_restarts(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with SubmissionJournal(path) as j:
+        assert j.next_sweep_number() == 1
+        j.submit("sweep-000007", "x", CELLS)
+        j.done("sweep-000007", ok=1, error=0)
+    with SubmissionJournal(path) as j:
+        assert j.next_sweep_number() == 8
+
+
+def test_records_require_type_and_sweep_id(tmp_path):
+    j = SubmissionJournal(str(tmp_path / "j.jsonl"))
+    with pytest.raises(ReproError):
+        j.append({"type": "submit"})
+    j.close()
+
+
+def test_rotation_is_write_rename_not_truncate(tmp_path, monkeypatch):
+    """A crash mid-rotation must leave a complete journal behind: the
+    compacted file is fully written and fsync'd *before* the replace."""
+    path = str(tmp_path / "j.jsonl")
+    j = SubmissionJournal(path, rotate_after=10**9)
+    j.submit("sweep-000001", "live", CELLS)
+    replaced = {}
+    real_replace = os.replace
+
+    def spying_replace(src, dst):
+        # At replace time the temp file must already hold the full
+        # compacted journal.
+        with open(src) as fh:
+            replaced["content"] = fh.read()
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", spying_replace)
+    j.rotate()
+    assert json.loads(replaced["content"])["sweep_id"] == "sweep-000001"
+    j.close()

@@ -1,0 +1,143 @@
+"""The end-to-end restart guarantee (ISSUE 9 acceptance criterion).
+
+Submit a sweep to a real ``python -m repro.serve`` process, SIGKILL the
+service mid-run, restart it on the same cache + journal, and assert:
+
+* the journal replay completes the sweep without a client resubmitting;
+* every cell finished before the kill is served from the sharded cache
+  (dedupe-hit counters say so);
+* the final results are byte-identical to an uninterrupted run.
+
+SIGKILL (not SIGTERM) on purpose: no atexit handler, no graceful drain
+— the only things the restart can lean on are the fsync'd journal and
+the incrementally-written cache, which is exactly the claim under test.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve import ServeClient, wait_until_up
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+SLOW = "tests.exec.workers:slow_echo"
+
+#: Per-cell sleep: long enough that a 12-cell sweep is still running
+#: when the kill lands, short enough to keep the test quick.
+SLEEP_S = 0.15
+CELLS = [{"experiment": "t:restart", "runner": SLOW,
+          "params": {"sleep_s": SLEEP_S}, "seed": s} for s in range(12)]
+
+
+def start_service(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + os.pathsep + ROOT
+    sock = str(tmp_path / "serve.sock")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve",
+         "--socket", sock,
+         "--cache", str(tmp_path / "cache"),
+         "--journal", str(tmp_path / "journal.jsonl")],
+        env=env, cwd=ROOT,
+        stderr=subprocess.DEVNULL)
+    assert wait_until_up(sock, 20), "service never came up"
+    return proc, sock
+
+
+def await_sweep_done(sock, sweep_id, timeout_s=60):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        with ServeClient(sock) as c:
+            out = c.result(sweep_id)
+        if out.get("state") == "done":
+            return out
+        time.sleep(0.05)
+    raise AssertionError(f"sweep {sweep_id} never completed")
+
+
+def test_kill_restart_replay_resumes_from_cache(tmp_path):
+    # --- reference: an uninterrupted run on a pristine service ---------
+    ref_dir = tmp_path / "reference"
+    ref_dir.mkdir()
+    proc, sock = start_service(ref_dir)
+    try:
+        with ServeClient(sock) as c:
+            reference = c.submit("restart-demo", CELLS, wait=True)
+            assert reference["executed"] == len(CELLS)
+            c.shutdown()
+        proc.wait(20)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    # --- the run that gets killed --------------------------------------
+    work = tmp_path / "work"
+    work.mkdir()
+    proc, sock = start_service(work)
+    seen_done = []
+
+    def on_event(event):
+        if event["event"] == "exec.cell.done" and not event.get("cached"):
+            seen_done.append(event["cell_id"])
+            if len(seen_done) == 3:
+                proc.send_signal(signal.SIGKILL)   # mid-run, no mercy
+
+    try:
+        with ServeClient(sock, timeout_s=60) as c:
+            with pytest.raises((ReproError, OSError)):
+                # The stream dies with the service.
+                c.submit("restart-demo", CELLS, wait=True, watch=True,
+                         on_event=on_event)
+    finally:
+        proc.wait(20)
+    assert len(seen_done) >= 3, "kill landed before any cell finished"
+    # The journal has the submission but no completion...
+    journal_lines = [json.loads(line)
+                     for line in open(work / "journal.jsonl")]
+    assert [r["type"] for r in journal_lines] == ["submit"]
+    sweep_id = journal_lines[0]["sweep_id"]
+    # ...and the cache holds exactly the cells that finished pre-kill.
+    def cache_entries():
+        return sum(1 for _dir, _dirs, names in os.walk(work / "cache")
+                   for n in names if n.endswith(".json"))
+    finished_before_kill = cache_entries()
+    assert finished_before_kill >= 3
+    assert finished_before_kill < len(CELLS), \
+        "sweep finished before the kill; nothing was interrupted"
+
+    # --- restart: the journal replay completes the sweep ---------------
+    proc, sock = start_service(work)
+    try:
+        replayed = await_sweep_done(sock, sweep_id)
+        with ServeClient(sock) as c:
+            stats = c.stats()
+            c.shutdown()
+        proc.wait(20)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    counters = stats["metrics"]["counters"]
+    assert counters["serve.journal.replayed"] == 1
+    # Every cell that finished before the kill came back as a dedupe
+    # hit; only the interrupted remainder re-ran.
+    assert replayed["cached"] == finished_before_kill
+    assert counters["serve.cells.deduped"] == finished_before_kill
+    assert replayed["executed"] == len(CELLS) - finished_before_kill
+    assert replayed["ok"] == len(CELLS)
+
+    # --- the headline: byte-identical to the uninterrupted run ---------
+    assert (json.dumps(replayed["results"], sort_keys=True)
+            == json.dumps(reference["results"], sort_keys=True))
+
+    # The journal now records completion, so a second restart replays
+    # nothing.
+    journal_lines = [json.loads(line)
+                     for line in open(work / "journal.jsonl")]
+    assert {r["type"] for r in journal_lines} == {"submit", "done"}

@@ -36,12 +36,18 @@ def test_checked_in_baseline_is_complete():
     benches = doc["benches"]
     assert set(benches) == {"kernel_dispatch", "kernel_cancel",
                             "migration", "exec_overhead", "lint_flow",
-                            "compiled_switch"}
+                            "compiled_switch", "serve_dedupe"}
     assert benches["kernel_dispatch"]["ns_per_event"] > 0
     assert benches["kernel_cancel"]["ns_per_event"] > 0
     assert benches["migration"]["ns_per_migration"] > 0
     assert benches["migration"]["migrations"] > 0
     assert benches["exec_overhead"]["ns_per_cell"] > 0
+    assert benches["serve_dedupe"]["ns_per_cell"] > 0
+    assert benches["serve_dedupe"]["cells"] == 256
+    # A dedupe hit must stay cheaper than computing even a no-op cell
+    # end to end, or the cache is pure overhead.
+    assert (benches["serve_dedupe"]["ns_per_cell"]
+            < benches["exec_overhead"]["ns_per_cell"] * 5)
     assert benches["lint_flow"]["ns_per_file"] > 0
     assert benches["lint_flow"]["files"] > 60
     assert benches["compiled_switch"]["ns_per_dispatch"] > 0

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """The perf-regression gate: every subsystem's micro-bench, one file.
 
-Runs the kernel/cancel/compiled-switch/migration/executor/lint
-micro-benches (the workers in
+Runs the kernel/cancel/compiled-switch/migration/executor/serve-dedupe/
+lint micro-benches (the workers in
 :mod:`repro.obs.benches`) through a serial ``repro.exec`` sweep, compares
 each bench's primary metric against the checked-in baseline
 ``BENCH_repro.json`` at the repo root, and **exits nonzero when any
@@ -60,6 +60,11 @@ BENCHES = {
     "exec_overhead": (
         "repro.obs.benches:run_exec_bench",
         {"cells": 64, "repeats": 3},
+        {"cells": 4, "repeats": 1},
+        "ns_per_cell"),
+    "serve_dedupe": (
+        "repro.obs.benches:run_serve_dedupe",
+        {"cells": 256, "repeats": 3},
         {"cells": 4, "repeats": 1},
         "ns_per_cell"),
     "lint_flow": (

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Operator smoke for the sweep service: submit, kill, restart, verify.
+
+Drives a real ``python -m repro.serve`` process through the full
+restart story::
+
+    PYTHONPATH=src python tools/serve_smoke.py [--cells N] [--sleep S]
+
+1. run a reference sweep on a pristine service (uninterrupted);
+2. start a fresh service, submit the same sweep, SIGKILL the process
+   after the first few cells complete;
+3. restart on the same cache + journal, wait for the journal replay to
+   finish the sweep;
+4. verify the replayed results are byte-identical to the reference and
+   that every pre-kill cell was served from the sharded dedupe cache.
+
+Exits 0 on PASS and writes ``results/serve_smoke.json``; exits 1 naming
+the first violated property.  The same scenario runs (smaller) in
+tier-1 as ``tests/serve/test_restart.py``; this driver is the
+operator-sized version with its evidence on disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.errors import ReproError                      # noqa: E402
+from repro.serve import ServeClient, wait_until_up       # noqa: E402
+
+SLOW = "tests.exec.workers:slow_echo"
+
+
+def start_service(workdir: str, tag: str) -> tuple:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + os.pathsep + ROOT
+    sock = os.path.join(workdir, f"{tag}.sock")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--socket", sock,
+         "--cache", os.path.join(workdir, "cache"),
+         "--journal", os.path.join(workdir, "journal.jsonl")],
+        env=env, cwd=ROOT, stderr=subprocess.DEVNULL)
+    if not wait_until_up(sock, 30):
+        raise SystemExit(f"FAIL: service ({tag}) never came up")
+    return proc, sock
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cells", type=int, default=24,
+                        help="sweep size (default: 24)")
+    parser.add_argument("--sleep", type=float, default=0.1,
+                        help="per-cell sleep seconds (default: 0.1)")
+    parser.add_argument("--kill-after", type=int, default=5,
+                        help="SIGKILL once this many cells finished")
+    args = parser.parse_args(argv)
+
+    cells = [{"experiment": "smoke:serve", "runner": SLOW,
+              "params": {"sleep_s": args.sleep}, "seed": s}
+             for s in range(args.cells)]
+    report = {"tool": "tools/serve_smoke.py", "cells": args.cells,
+              "kill_after": args.kill_after, "checks": {}}
+
+    def check(name: str, passed: bool, detail) -> None:
+        report["checks"][name] = {"pass": bool(passed), "detail": detail}
+        print(f"  {'PASS' if passed else 'FAIL'}  {name}: {detail}")
+        if not passed:
+            finish(report, failed=True)
+
+    def finish(doc, failed: bool = False) -> None:
+        out = os.path.join(ROOT, "results", "serve_smoke.json")
+        os.makedirs(os.path.dirname(out), exist_ok=True)
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {os.path.relpath(out, ROOT)}")
+        if failed:
+            raise SystemExit(1)
+
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        # 1. reference: uninterrupted.
+        ref_dir = os.path.join(tmp, "ref")
+        os.makedirs(ref_dir)
+        print("[1/4] reference run (uninterrupted)")
+        proc, sock = start_service(ref_dir, "ref")
+        with ServeClient(sock, timeout_s=600) as c:
+            reference = c.submit("smoke", cells, wait=True)
+            c.shutdown()
+        proc.wait(30)
+        check("reference_completed",
+              reference.get("event") == "sweep.end"
+              and reference["ok"] == args.cells,
+              f"{reference.get('ok')}/{args.cells} ok")
+
+        # 2. the killed run.
+        work = os.path.join(tmp, "work")
+        os.makedirs(work)
+        print(f"[2/4] submit + SIGKILL after {args.kill_after} cells")
+        proc, sock = start_service(work, "work")
+        done = []
+
+        def on_event(event):
+            if (event["event"] == "exec.cell.done"
+                    and not event.get("cached")):
+                done.append(event["cell_id"])
+                if len(done) == args.kill_after:
+                    proc.send_signal(signal.SIGKILL)
+
+        t0 = time.monotonic()
+        try:
+            with ServeClient(sock, timeout_s=600) as c:
+                c.submit("smoke", cells, wait=True, watch=True,
+                         on_event=on_event)
+            check("kill_landed", False, "sweep finished before the kill")
+        except (ReproError, OSError):
+            pass
+        proc.wait(30)
+        check("kill_landed", len(done) >= args.kill_after,
+              f"killed after {len(done)} cells "
+              f"({time.monotonic() - t0:.1f}s in)")
+        pre_kill = sum(1 for _d, _s, names in os.walk(
+            os.path.join(work, "cache"))
+            for n in names if n.endswith(".json"))
+        check("cache_has_prekill_cells",
+              args.kill_after <= pre_kill < args.cells,
+              f"{pre_kill} entries on disk")
+
+        # 3. restart; journal replay finishes the sweep.
+        print("[3/4] restart; waiting for journal replay")
+        with open(os.path.join(work, "journal.jsonl")) as fh:
+            sweep_id = json.loads(fh.readline())["sweep_id"]
+        proc, sock = start_service(work, "work2")
+        replayed = None
+        deadline = time.monotonic() + 600
+        while time.monotonic() < deadline:
+            with ServeClient(sock) as c:
+                out = c.result(sweep_id)
+            if out.get("state") == "done":
+                replayed = out
+                break
+            time.sleep(0.1)
+        with ServeClient(sock) as c:
+            stats = c.stats()
+            c.shutdown()
+        proc.wait(30)
+        check("replay_completed", replayed is not None,
+              f"sweep {sweep_id} state "
+              f"{replayed and replayed.get('state')}")
+
+        # 4. the properties.
+        print("[4/4] verifying restart properties")
+        counters = stats["metrics"]["counters"]
+        check("replayed_from_journal",
+              counters.get("serve.journal.replayed") == 1,
+              f"journal replays: {counters.get('serve.journal.replayed')}")
+        check("prekill_cells_served_from_cache",
+              replayed["cached"] == pre_kill
+              and counters.get("serve.cells.deduped") == pre_kill,
+              f"{replayed['cached']} dedupe hits == {pre_kill} "
+              f"pre-kill entries")
+        check("byte_identical_results",
+              json.dumps(replayed["results"], sort_keys=True)
+              == json.dumps(reference["results"], sort_keys=True),
+              f"{len(replayed['results'])} results compared")
+        report["pre_kill_cells"] = pre_kill
+        report["replay"] = {k: replayed[k]
+                            for k in ("ok", "error", "cached", "executed")}
+        finish(report)
+    print("serve smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
