@@ -386,7 +386,9 @@ class AmpiRuntime:
         """Whether every rank has finished."""
         return self._finished == self.num_ranks
 
-    def run(self, max_rounds: int = 10_000_000) -> None:
+    def run(self, max_rounds: int = 10_000_000,
+            until: Optional[float] = None,
+            max_net_events: Optional[int] = None) -> None:
         """Drive schedulers and the network until every rank finishes.
 
         Deliberately *not* a sixth run loop: every scheduler pass and
@@ -398,12 +400,26 @@ class AmpiRuntime:
         part of the runtime's determinism contract.  The ``queue.empty``
         probe each round is O(1) on the kernel's live-event counter.
 
+        ``until`` / ``max_net_events`` bound the *network* kernel — stop
+        before any cluster event later than ``until``, or after that
+        many cluster events in total — and turn the run into a partial
+        replay for the time-travel tooling: the loop returns (instead of
+        raising deadlock) once no bounded progress is possible, leaving
+        the runtime frozen at a well-defined point — every network event
+        inside the bound delivered, all resulting local computation
+        settled, the still-live kernel events being exactly the
+        in-flight messages beyond the horizon.  Unbounded (the default),
+        behavior is unchanged.
+
         Raises
         ------
         AmpiError
             On deadlock (no rank runnable, no message in flight) with a
-            description of what each live rank is waiting for.
+            description of what each live rank is waiting for.  Never
+            raised for exhausting a replay bound.
         """
+        bounded = until is not None or max_net_events is not None
+        net_budget = max_net_events
         for _ in range(max_rounds):
             if self.done:
                 return
@@ -413,8 +429,16 @@ class AmpiRuntime:
                     sched.run()
                     progressed = True
             if not self.cluster.queue.empty:
-                self.cluster.run()
-                progressed = True
+                if not bounded:
+                    self.cluster.run()
+                    progressed = True
+                elif net_budget is None or net_budget > 0:
+                    processed = self.cluster.run(until=until,
+                                                 max_events=net_budget)
+                    if net_budget is not None:
+                        net_budget -= processed
+                    if processed:
+                        progressed = True
             if (self._at_migrate
                     and len(self._at_migrate) == self.num_ranks - self._finished):
                 self._run_rebalance()
@@ -424,6 +448,8 @@ class AmpiRuntime:
                 self._run_checkpoint()
                 progressed = True
             if not progressed:
+                if bounded:
+                    return
                 self._raise_deadlock()
         raise AmpiError(f"run() exceeded {max_rounds} scheduling rounds")
 

@@ -32,6 +32,8 @@ __all__ = [
     "AmpiError",
     "ChaosError",
     "InvariantViolation",
+    "QueryError",
+    "QuerySyntaxError",
 ]
 
 
@@ -189,3 +191,26 @@ class InvariantViolation(ChaosError):
     runtime reached a state it promises never to reach (lost rank,
     inconsistent LB database, non-monotonic clock, ...).
     """
+
+
+class QueryError(ReproError):
+    """Trace-query subsystem misuse (bad runspec, bad aggregate, ...)."""
+
+
+class QuerySyntaxError(QueryError):
+    """A malformed query expression, with the offending position.
+
+    Carries ``text`` (the full query) and ``pos`` (0-based character
+    offset) so reporters can render a caret diagnostic; ``str()`` is a
+    one-line ``<message> at column N`` form.
+    """
+
+    def __init__(self, message: str, text: str = "", pos: int = 0):
+        super().__init__(f"{message} at column {pos + 1}")
+        self.reason = message
+        self.text = text
+        self.pos = pos
+
+    def caret(self) -> str:
+        """Two-line diagnostic: the query with a caret under the error."""
+        return f"{self.text}\n{' ' * self.pos}^ {self.reason}"

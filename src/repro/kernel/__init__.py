@@ -36,7 +36,7 @@ from repro.kernel.event import EventKernel, KernelEvent
 from repro.kernel.policy import RunPolicy
 from repro.kernel.pqueue import MinHeap
 from repro.kernel.quiescence import QuiescenceCounter
-from repro.kernel.trace import KernelTracer
+from repro.kernel.trace import KernelTracer, load_trace
 
 __all__ = [
     "EventKernel",
@@ -44,6 +44,7 @@ __all__ = [
     "RunPolicy",
     "HookBus",
     "KernelTracer",
+    "load_trace",
     "QuiescenceCounter",
     "MinHeap",
 ]

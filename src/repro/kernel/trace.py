@@ -33,7 +33,48 @@ from typing import Any, Dict, List, Optional
 
 from repro.errors import ReproError
 
-__all__ = ["KernelTracer"]
+__all__ = ["KernelTracer", "load_trace"]
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Read a JSON-lines trace file into a list of entry dicts.
+
+    This is the one trace-reading surface: the obs report, the query
+    CLI, and the replay tooling all load through here.  Two validity
+    rules beyond "each line parses":
+
+    * Every line must decode to a JSON *object* — a bare array or
+      scalar would crash every consumer downstream, so it is rejected
+      here with the file/line position.
+    * A torn **final** line is tolerated, but only when the file does
+      not end in a newline: a run killed mid-append (SIGKILL between
+      ``write`` calls) legitimately leaves an unterminated tail, and
+      the serve journal already honors exactly this contract.  A
+      malformed line that *is* newline-terminated — or sits mid-file —
+      is corruption and stays a hard error.
+    """
+    with open(path) as fh:
+        data = fh.read()
+    entries: List[Dict[str, Any]] = []
+    raw_lines = data.split("\n")
+    terminated = data.endswith("\n")
+    last = len(raw_lines) - 1
+    for index, line in enumerate(raw_lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError as e:
+            if index == last and not terminated:
+                break  # torn tail from a killed writer: drop it
+            raise ReproError(
+                f"{path}:{index + 1}: not a JSON trace line: {e}")
+        if not isinstance(entry, dict):
+            raise ReproError(
+                f"{path}:{index + 1}: trace line is not a JSON object")
+        entries.append(entry)
+    return entries
 
 
 class KernelTracer:

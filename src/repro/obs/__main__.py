@@ -37,6 +37,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         entries = load_trace(args.trace)
+        if not entries:
+            print(f"error: {args.trace}: empty trace (no entries to "
+                  "analyze)", file=sys.stderr)
+            return 2
         report = build_report(entries, windows=args.windows)
     except (OSError, ReproError) as e:
         print(f"error: {e}", file=sys.stderr)

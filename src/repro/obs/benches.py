@@ -20,7 +20,7 @@ from typing import Any, Dict, Optional
 
 __all__ = ["run_kernel_bench", "run_cancel_bench", "run_migration_bench",
            "run_exec_bench", "run_lint_bench", "run_compiled_switch",
-           "run_serve_dedupe", "run_noop_cell"]
+           "run_serve_dedupe", "run_query_filter", "run_noop_cell"]
 
 
 def _best_of(repeats: int, fn) -> float:
@@ -236,6 +236,46 @@ def run_serve_dedupe(params: Dict[str, Any],
     finally:
         shutil.rmtree(root, ignore_errors=True)
     return {"cells": n, "shards": shards, "ns_per_cell": best * 1e9 / n}
+
+
+def run_query_filter(params: Dict[str, Any],
+                     seed: Optional[int]) -> Dict[str, Any]:
+    """Predicate evaluation throughput of the trace-query engine.
+
+    ``{"entries": n, "repeats": k}`` — builds ``n`` synthetic trace
+    entries shaped like a real kernel dump (a deterministic mix of
+    ``schedule``/``end``/``send`` schemas, no RNG) outside the timed
+    region, then times :func:`repro.query.engines.filter_entries` with
+    a representative compiled predicate.  The metric is host ns per
+    entry scanned — the marginal cost every ``repro.query filter`` and
+    every canned obs-report view pays per trace line.
+    """
+    from repro.query.engines import compile_predicate, filter_entries
+
+    n = int(params.get("entries", 100_000))
+    repeats = int(params.get("repeats", 3))
+    categories = ("net.ampi", "cth.resume", "lb.step", "")
+    entries = []
+    for i in range(n):
+        e: Dict[str, Any] = {"ev": ("schedule", "end", "send")[i % 3],
+                             "t": float(i * 17 % 1_000_000), "seq": i,
+                             "category": categories[i % 4]}
+        if e["ev"] == "end":
+            e["skipped"] = (i % 9 == 0)
+        elif e["ev"] == "send":
+            e["bytes"] = 64 << (i % 7)
+        entries.append(e)
+    pred = compile_predicate(
+        "ev == 'end' and not skipped and startswith(category, 'net.') "
+        "or bytes >= 4096")
+    matched: Dict[str, int] = {}
+
+    def one_round():
+        matched["n"] = len(filter_entries(entries, pred))
+
+    best = _best_of(repeats, one_round)
+    return {"entries": n, "matched": matched["n"],
+            "ns_per_entry": best * 1e9 / n}
 
 
 def run_noop_cell(params: Dict[str, Any],

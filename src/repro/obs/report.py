@@ -24,29 +24,27 @@ are stable across runs (and are pinned by the golden-metrics tests).
 
 from __future__ import annotations
 
-import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
-from repro.errors import ReproError
+# Re-exported here for backward compatibility; the loader lives with the
+# tracer so every trace consumer shares one parsing/validation surface.
+from repro.kernel.trace import load_trace
 from repro.obs.metrics import BYTE_BUCKETS, Histogram, TIME_NS_BUCKETS
+from repro.query.engines import (aggregate_entries, compile_predicate,
+                                 filter_entries, trace_makespan,
+                                 window_index)
 
 __all__ = ["load_trace", "build_report", "render_report"]
 
-
-def load_trace(path: str) -> List[Dict[str, Any]]:
-    """Read a JSON-lines trace file into a list of entry dicts."""
-    entries = []
-    with open(path) as fh:
-        for lineno, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entries.append(json.loads(line))
-            except ValueError as e:
-                raise ReproError(
-                    f"{path}:{lineno}: not a JSON trace line: {e}")
-    return entries
+# The report's fixed views are just canned queries; keeping them in the
+# query language makes `python -m repro.query` and this report read the
+# trace identically (and documents the schema each view depends on).
+_IS_MIGRATION = compile_predicate("ev == 'migration'")
+_IS_SEND = compile_predicate("ev == 'send'")
+_IS_NET_DELIVERY = compile_predicate(
+    "ev == 'end' and not skipped and startswith(category, 'net.') "
+    "and has(sent)")
+_IS_DISPATCH_END = "ev == 'end' and not skipped"
 
 
 # ---------------------------------------------------------------------------
@@ -61,7 +59,7 @@ def _utilization(entries, makespan: float) -> Dict[str, Any]:
     return {
         "makespan_ns": makespan,
         "per_pe": {pe: {"busy_ns": busy[pe],
-                        "util": busy[pe] / makespan if makespan else 0.0}
+                        "util": busy[pe] / makespan if makespan > 0 else 0.0}
                    for pe in pes},
     }
 
@@ -73,7 +71,10 @@ def _imbalance_timeline(entries, makespan: float,
     Each dispatch's busy charge is attributed to the window containing
     its event time — a discretization (a long dispatch straddling a
     boundary lands entirely in one window), which is exactly what
-    Projections' usage profile does at its display resolution.
+    Projections' usage profile does at its display resolution.  The
+    window index is clamped at *both* ends: an out-of-range timestamp
+    (negative, or past the makespan) charges the nearest edge window,
+    so Σ(window busy) always equals the trace's total busy time.
     """
     if makespan <= 0 or windows <= 0:
         return []
@@ -84,7 +85,7 @@ def _imbalance_timeline(entries, makespan: float,
         b = e.get("busy")
         if not b:
             continue
-        w = min(int(e.get("t", 0.0) / width), windows - 1)
+        w = window_index(e.get("t", 0.0), width, windows)
         acc = per_window[w]
         for pe, ns in b.items():
             pes.add(pe)
@@ -115,9 +116,7 @@ def _migration_table(entries) -> Dict[str, Any]:
     routes: Dict[tuple, Dict[str, Any]] = {}
     completed = returned = 0
     bytes_moved = 0
-    for e in entries:
-        if e.get("ev") != "migration":
-            continue
+    for e in filter_entries(entries, _IS_MIGRATION):
         key = (e["src"], e["dst"])
         row = routes.setdefault(key, {"moves": 0, "returns": 0, "bytes": 0})
         if e.get("returned"):
@@ -143,23 +142,19 @@ def _message_histograms(entries) -> Dict[str, Any]:
     sizes = Histogram("net.msg_bytes", BYTE_BUCKETS)
     latency = Histogram("net.latency_ns", TIME_NS_BUCKETS)
     for e in entries:
-        ev = e.get("ev")
-        if ev == "send":
+        if _IS_SEND(e):
             sizes.observe(e["bytes"])
-        elif (ev == "end" and not e.get("skipped")
-                and str(e.get("category", "")).startswith("net.")
-                and "sent" in e):
+        elif _IS_NET_DELIVERY(e):
             latency.observe(e["t"] - e["sent"])
     return {"sizes": sizes.snapshot(), "latency_ns": latency.snapshot()}
 
 
 def _categories(entries) -> Dict[str, int]:
-    out: Dict[str, int] = {}
-    for e in entries:
-        if e.get("ev") == "end" and not e.get("skipped"):
-            cat = e.get("category", "uncategorized")
-            out[cat] = out.get(cat, 0) + 1
-    return out
+    result = aggregate_entries(filter_entries(entries, _IS_DISPATCH_END),
+                               "count() by category")
+    return {row["group"]["category"] or "uncategorized":
+            row["aggregates"]["count()"]
+            for row in result["rows"]}
 
 
 # ---------------------------------------------------------------------------
@@ -172,12 +167,7 @@ def build_report(entries: List[Dict[str, Any]],
     The result is plain JSON-able data with deterministic ordering; pass
     an optional :class:`MetricsRegistry` to embed its snapshot.
     """
-    makespan = 0.0
-    for e in entries:
-        for t in e.get("clock", {}).values():
-            makespan = max(makespan, t)
-        if e.get("ev") == "end":
-            makespan = max(makespan, e.get("t", 0.0))
+    makespan = trace_makespan(entries)
     report: Dict[str, Any] = {
         "events": len(entries),
         "utilization": _utilization(entries, makespan),

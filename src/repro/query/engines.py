@@ -1,0 +1,213 @@
+"""Query engines over trace entries: filter, aggregate, timeline.
+
+All three consume the plain list-of-dicts form produced by
+:func:`repro.kernel.trace.load_trace` and emit deterministic, JSON-able
+results — sorted group keys, fixed window boundaries, no host state —
+so their output can be fingerprinted the same way the obs report is.
+
+The small helpers :func:`window_index` and :func:`trace_makespan` are
+shared with :mod:`repro.obs.report`: the report's imbalance timeline is
+a specialization of the same attribution rule (charge an entry to the
+window containing its event time, clamped to the run's extent).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from repro.errors import QueryError
+from repro.query.expr import Call, Expr, Field
+from repro.query.parser import AggregateSpec, parse, parse_aggregate
+
+__all__ = ["compile_predicate", "filter_entries", "aggregate_entries",
+           "timeline_entries", "window_index", "trace_makespan",
+           "canonical_json"]
+
+Entry = Dict[str, Any]
+
+
+def canonical_json(obj: Any) -> str:
+    """The one serialization used for keys, dumps, and fingerprints:
+    sorted keys, no whitespace."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def window_index(t: float, width: float, windows: int) -> int:
+    """Window containing time ``t``, clamped into ``[0, windows - 1]``.
+
+    The lower clamp matters: a negative timestamp (clock skew, synthetic
+    entries) must charge the *first* window, not wrap around to the last
+    via Python negative indexing.
+    """
+    if t <= 0 or width <= 0:
+        return 0
+    return min(int(t / width), windows - 1)
+
+
+def trace_makespan(entries: Iterable[Entry]) -> float:
+    """Run extent in virtual ns: the max over observer clock snapshots
+    and ``end``-entry event times (0.0 for an empty trace)."""
+    makespan = 0.0
+    for e in entries:
+        for t in e.get("clock", {}).values():
+            makespan = max(makespan, t)
+        if e.get("ev") == "end":
+            makespan = max(makespan, e.get("t", 0.0))
+    return makespan
+
+
+# ---------------------------------------------------------------------------
+# filter
+# ---------------------------------------------------------------------------
+
+
+def compile_predicate(query: Union[str, Expr]) -> Callable[[Entry], bool]:
+    """Parse (if needed) and close over a query expression as an
+    entry -> bool predicate.  Total: never raises on trace data."""
+    tree = parse(query) if isinstance(query, str) else query
+    evaluate = tree.evaluate
+    return lambda entry: bool(evaluate(entry))
+
+
+def filter_entries(entries: Iterable[Entry],
+                   query: Union[str, Expr, Callable[[Entry], bool]],
+                   ) -> List[Entry]:
+    """Entries matching ``query`` (a string, parsed tree, or predicate),
+    in trace order."""
+    pred = query if callable(query) else compile_predicate(query)
+    return [e for e in entries if pred(e)]
+
+
+# ---------------------------------------------------------------------------
+# aggregate
+# ---------------------------------------------------------------------------
+
+
+def _is_number(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+class _Accumulator:
+    """One aggregate cell: fold entries, then finish to a JSON scalar."""
+
+    __slots__ = ("call", "n", "total", "lo", "hi")
+
+    def __init__(self, call: Call) -> None:
+        self.call = call
+        self.n = 0
+        self.total = 0
+        self.lo: Optional[float] = None
+        self.hi: Optional[float] = None
+
+    def add(self, entry: Entry) -> None:
+        name = self.call.name
+        if name == "count":
+            if not self.call.args or self.call.args[0].evaluate(entry):
+                self.n += 1
+            return
+        value = self.call.args[0].evaluate(entry)
+        if not _is_number(value):
+            return
+        self.n += 1
+        self.total += value
+        self.lo = value if self.lo is None else min(self.lo, value)
+        self.hi = value if self.hi is None else max(self.hi, value)
+
+    def finish(self) -> Any:
+        name = self.call.name
+        if name == "count":
+            return self.n
+        if name == "sum":
+            return self.total
+        if name == "min":
+            return self.lo
+        if name == "max":
+            return self.hi
+        return self.total / self.n if self.n else None  # avg
+
+
+def aggregate_entries(entries: Iterable[Entry],
+                      spec: Union[str, AggregateSpec]) -> Dict[str, Any]:
+    """Fold entries through an aggregate spec.
+
+    Returns ``{"rows": [...], "entries": N}`` where each row carries
+    ``group`` (the by-field values, absent keys as ``null``) and
+    ``aggregates`` keyed by the canonical unparse of each call.  Rows
+    are sorted by the canonical JSON of their group values, so output
+    order never depends on trace order.  Non-numeric and missing values
+    are skipped by sum/min/max/avg (``sum`` of nothing is 0, the others
+    are ``null``); without a ``by`` clause there is exactly one row.
+    """
+    if isinstance(spec, str):
+        spec = parse_aggregate(spec)
+    by_names = [f.unparse() for f in spec.by]
+    groups: Dict[str, tuple] = {}
+    n_entries = 0
+    for e in entries:
+        n_entries += 1
+        key_values = [f.evaluate(e) for f in spec.by]
+        key = canonical_json(key_values)
+        cell = groups.get(key)
+        if cell is None:
+            cell = (key_values, [_Accumulator(a) for a in spec.aggs])
+            groups[key] = cell
+        for acc in cell[1]:
+            acc.add(e)
+    if not spec.by and not groups:
+        groups[""] = ([], [_Accumulator(a) for a in spec.aggs])
+    rows = []
+    for key in sorted(groups):
+        key_values, accs = groups[key]
+        rows.append({
+            "group": dict(zip(by_names, key_values)),
+            "aggregates": {a.call.unparse(): a.finish()
+                           for a in accs},
+        })
+    return {"rows": rows, "entries": n_entries}
+
+
+# ---------------------------------------------------------------------------
+# timeline
+# ---------------------------------------------------------------------------
+
+
+def timeline_entries(entries: List[Entry], windows: int = 8,
+                     value: Union[str, Expr, None] = None,
+                     where: Union[str, Expr, None] = None,
+                     ) -> Dict[str, Any]:
+    """Windowed series over the trace: split the makespan into equal
+    windows and charge each matching entry to the window containing its
+    event time (the obs attribution rule, clamped at both ends).
+
+    ``value`` is an optional expression summed per window (numeric
+    results only); every window also reports its matching-entry count.
+    An empty or zero-extent trace yields no windows.
+    """
+    if windows <= 0:
+        raise QueryError("timeline needs at least one window")
+    pred = compile_predicate(where) if where is not None else None
+    value_expr = (parse(value) if isinstance(value, str) else value)
+    makespan = trace_makespan(entries)
+    if makespan <= 0:
+        return {"makespan_ns": makespan, "windows": []}
+    width = makespan / windows
+    counts = [0] * windows
+    sums = [0.0] * windows
+    for e in entries:
+        if pred is not None and not pred(e):
+            continue
+        w = window_index(e.get("t", 0.0), width, windows)
+        counts[w] += 1
+        if value_expr is not None:
+            v = value_expr.evaluate(e)
+            if _is_number(v):
+                sums[w] += v
+    out = []
+    for w in range(windows):
+        row: Dict[str, Any] = {"t0": w * width, "t1": (w + 1) * width,
+                               "count": counts[w]}
+        if value_expr is not None:
+            row["sum"] = sums[w]
+        out.append(row)
+    return {"makespan_ns": makespan, "windows": out}

@@ -1,0 +1,268 @@
+"""Expression AST for trace queries: evaluation and exact unparsing.
+
+Nodes are small ``__slots__`` value objects with structural equality.
+Two properties drive the design:
+
+* **Total evaluation** — :meth:`Expr.evaluate` never raises on trace
+  data.  A missing field is ``None``; arithmetic with ``None`` or
+  mismatched types is ``None``; an ordering comparison on incomparable
+  values is ``False``.  Queries over heterogeneous JSONL entries (the
+  kernel trace mixes ``schedule``/``end``/``send``/``migration``
+  schemas) therefore filter instead of crashing.
+* **Round-trip unparsing** — :meth:`Expr.unparse` emits canonical text
+  with minimal precedence parentheses such that
+  ``parse(unparse(tree)) == tree`` (the parser property tests pin this
+  as a fixed point).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.errors import QueryError
+
+__all__ = ["Expr", "Literal", "Field", "Unary", "Binary", "Call",
+           "AGGREGATE_NAMES", "BUILTIN_NAMES"]
+
+#: Aggregation functions — only valid in ``aggregate`` specs.
+AGGREGATE_NAMES = frozenset({"count", "sum", "min", "max", "avg"})
+
+#: Scalar builtins callable inside any expression.
+BUILTIN_NAMES = frozenset({"has", "len", "abs", "int", "float",
+                           "startswith"})
+
+#: Binding strength, loosest to tightest; parenthesization in
+#: :meth:`Expr.unparse` compares these.
+_PREC = {"or": 1, "and": 2, "not": 3,
+         "==": 4, "!=": 4, "<": 4, "<=": 4, ">": 4, ">=": 4,
+         "+": 5, "-": 5, "*": 6, "/": 6, "%": 6, "neg": 7}
+
+_COMPARISONS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+
+
+class Expr:
+    """Base expression node; subclasses implement evaluate/unparse."""
+
+    __slots__ = ()
+    prec = 8  # atoms bind tightest
+
+    def evaluate(self, entry: Dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def unparse(self) -> str:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return (type(self) is type(other)
+                and all(getattr(self, s) == getattr(other, s)
+                        for s in self.__slots__))
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__,
+                     tuple(repr(getattr(self, s)) for s in self.__slots__)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.unparse()!r}>"
+
+    def _operand(self, child: "Expr", tight: bool = False) -> str:
+        """Unparse ``child`` as an operand, parenthesizing when its
+        binding is too loose (or equal, for right operands of
+        left-associative operators)."""
+        text = child.unparse()
+        if child.prec < self.prec or (tight and child.prec == self.prec):
+            return f"({text})"
+        return text
+
+
+class Literal(Expr):
+    """A number, string, ``true``/``false``, or ``none``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def evaluate(self, entry: Dict[str, Any]) -> Any:
+        return self.value
+
+    def unparse(self) -> str:
+        v = self.value
+        if v is None:
+            return "none"
+        if v is True:
+            return "true"
+        if v is False:
+            return "false"
+        if isinstance(v, str):
+            escaped = v.replace("\\", "\\\\").replace("'", "\\'")
+            return f"'{escaped}'"
+        return repr(v)
+
+
+class Field(Expr):
+    """Dotted access into an entry: ``category``, ``busy.0``, ``clock.1``.
+
+    Missing keys and non-indexable intermediates evaluate to ``None``;
+    an all-digit segment also tries list indexing, so traces that carry
+    arrays stay reachable.
+    """
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: Tuple[str, ...]) -> None:
+        self.path = tuple(path)
+
+    def evaluate(self, entry: Dict[str, Any]) -> Any:
+        value: Any = entry
+        for key in self.path:
+            if isinstance(value, dict):
+                value = value.get(key)
+            elif isinstance(value, (list, tuple)) and key.isdigit():
+                idx = int(key)
+                value = value[idx] if idx < len(value) else None
+            else:
+                return None
+        return value
+
+    def unparse(self) -> str:
+        return ".".join(self.path)
+
+
+class Unary(Expr):
+    """``not x`` or ``-x``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr) -> None:
+        self.op = op
+        self.operand = operand
+
+    @property
+    def prec(self) -> int:  # type: ignore[override]
+        return _PREC["not" if self.op == "not" else "neg"]
+
+    def evaluate(self, entry: Dict[str, Any]) -> Any:
+        v = self.operand.evaluate(entry)
+        if self.op == "not":
+            return not v
+        if v is None:
+            return None
+        try:
+            return -v
+        except TypeError:
+            return None
+
+    def unparse(self) -> str:
+        inner = self._operand(self.operand)
+        return f"not {inner}" if self.op == "not" else f"-{inner}"
+
+
+class Binary(Expr):
+    """Left-associative binary operation (boolean, comparison, arithmetic)."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        self.op = op
+        self.left = left
+        self.right = right
+
+    @property
+    def prec(self) -> int:  # type: ignore[override]
+        return _PREC[self.op]
+
+    def evaluate(self, entry: Dict[str, Any]) -> Any:
+        op = self.op
+        if op == "and":
+            left = self.left.evaluate(entry)
+            return self.right.evaluate(entry) if left else left
+        if op == "or":
+            left = self.left.evaluate(entry)
+            return left if left else self.right.evaluate(entry)
+        left = self.left.evaluate(entry)
+        right = self.right.evaluate(entry)
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if left is None or right is None:
+            # Ordering and arithmetic have no sensible answer against a
+            # missing field: comparisons are False (the entry simply
+            # does not match), arithmetic propagates the hole.
+            return False if op in _COMPARISONS else None
+        try:
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                return left / right
+            if op == "%":
+                return left % right
+        except TypeError:
+            return False if op in _COMPARISONS else None
+        except ZeroDivisionError:
+            return None
+        raise QueryError(f"unknown operator {op!r}")  # pragma: no cover
+
+    def unparse(self) -> str:
+        # Comparisons do not chain in the grammar, so a comparison
+        # operand of a comparison always needs explicit parentheses.
+        tight_left = self.op in _COMPARISONS
+        left = self._operand(self.left, tight=tight_left and
+                             self.left.prec == self.prec)
+        right = self._operand(self.right, tight=True)
+        return f"{left} {self.op} {right}"
+
+
+class Call(Expr):
+    """A function call: scalar builtins anywhere, aggregates in specs.
+
+    Evaluating an aggregate call as a scalar raises :class:`QueryError`
+    — the aggregate engine interprets those nodes itself.
+    """
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Tuple[Expr, ...]) -> None:
+        self.name = name
+        self.args = tuple(args)
+
+    def evaluate(self, entry: Dict[str, Any]) -> Any:
+        name = self.name
+        if name in AGGREGATE_NAMES:
+            raise QueryError(
+                f"aggregate {name}() is only valid in an aggregate spec")
+        args = [a.evaluate(entry) for a in self.args]
+        if name == "has":
+            return args[0] is not None
+        if name == "startswith":
+            return (isinstance(args[0], str) and isinstance(args[1], str)
+                    and args[0].startswith(args[1]))
+        if args[0] is None:
+            return None
+        try:
+            if name == "len":
+                return len(args[0])
+            if name == "abs":
+                return abs(args[0])
+            if name == "int":
+                return int(args[0])
+            if name == "float":
+                return float(args[0])
+        except (TypeError, ValueError):
+            return None
+        raise QueryError(f"unknown function {name!r}")  # pragma: no cover
+
+    def unparse(self) -> str:
+        return f"{self.name}({', '.join(a.unparse() for a in self.args)})"

@@ -1,0 +1,138 @@
+"""Hand-rolled tokenizer for the trace-query language.
+
+One pass, no regexes, no host state: :func:`tokenize` turns a query
+string into a flat list of :class:`Token`\\ s, each carrying its 0-based
+character offset so every later error (parse or semantic) can point at
+the exact column.  The token kinds are deliberately few:
+
+* ``NUM`` — integer or float literals, with optional exponent
+  (``42``, ``3.5``, ``1e-06``);
+* ``STR`` — single- or double-quoted strings with backslash escapes;
+* ``NAME`` — identifiers (field names, function names) and the
+  keywords ``and`` / ``or`` / ``not`` / ``by`` / ``true`` / ``false`` /
+  ``none``;
+* ``OP`` — ``== != <= >= < > + - * / % ( ) . ,``;
+* ``END`` — end of input (always the last token).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import QuerySyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+#: Reserved identifiers: never valid as bare field names.
+KEYWORDS = frozenset({"and", "or", "not", "by", "true", "false", "none"})
+
+_TWO_CHAR_OPS = ("==", "!=", "<=", ">=")
+_ONE_CHAR_OPS = frozenset("<>+-*/%().,")
+
+_ESCAPES = {"n": "\n", "t": "\t", "\\": "\\", "'": "'", '"': '"'}
+
+
+class Token:
+    """One lexeme: ``kind`` (NUM/STR/NAME/OP/END), ``value``, ``pos``."""
+
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind: str, value, pos: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.value!r}, @{self.pos})"
+
+
+def _lex_string(text: str, i: int) -> tuple:
+    quote = text[i]
+    start = i
+    i += 1
+    out: List[str] = []
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\":
+            if i + 1 >= len(text):
+                raise QuerySyntaxError("unterminated escape", text, i)
+            esc = text[i + 1]
+            if esc not in _ESCAPES:
+                raise QuerySyntaxError(f"unknown escape \\{esc}", text, i)
+            out.append(_ESCAPES[esc])
+            i += 2
+            continue
+        if ch == quote:
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise QuerySyntaxError("unterminated string", text, start)
+
+
+def _lex_number(text: str, i: int) -> tuple:
+    start = i
+    n = len(text)
+    while i < n and text[i].isdigit():
+        i += 1
+    is_float = False
+    # A '.' is part of the number only when digits follow — `busy.0`
+    # keeps its dot for the parser's dotted-path rule, but a trailing
+    # `1.` is rejected rather than silently meaning `1`.
+    if i < n and text[i] == "." and i + 1 < n and text[i + 1].isdigit():
+        is_float = True
+        i += 1
+        while i < n and text[i].isdigit():
+            i += 1
+    if i < n and text[i] in "eE":
+        j = i + 1
+        if j < n and text[j] in "+-":
+            j += 1
+        if j < n and text[j].isdigit():
+            is_float = True
+            i = j
+            while i < n and text[i].isdigit():
+                i += 1
+    lexeme = text[start:i]
+    return (float(lexeme) if is_float else int(lexeme)), i
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex ``text`` into tokens; raises :class:`QuerySyntaxError` with
+    the offending position on any character the language has no use for."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch in "'\"":
+            value, j = _lex_string(text, i)
+            tokens.append(Token("STR", value, i))
+            i = j
+            continue
+        if ch.isdigit():
+            value, j = _lex_number(text, i)
+            tokens.append(Token("NUM", value, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("NAME", text[i:j], i))
+            i = j
+            continue
+        two = text[i:i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token("OP", two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("OP", ch, i))
+            i += 1
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r}", text, i)
+    tokens.append(Token("END", None, n))
+    return tokens

@@ -1,0 +1,271 @@
+"""Recursive-descent parser for the trace-query language.
+
+Grammar (loosest to tightest; comparisons deliberately do not chain)::
+
+    expr        := or
+    or          := and ("or" and)*
+    and         := neg ("and" neg)*
+    neg         := "not" neg | comparison
+    comparison  := additive (("==" | "!=" | "<" | "<=" | ">" | ">=") additive)?
+    additive    := term (("+" | "-") term)*
+    term        := unary (("*" | "/" | "%") unary)*
+    unary       := "-" unary | atom
+    atom        := NUM | STR | "true" | "false" | "none"
+                 | NAME "(" args ")" | field | "(" expr ")"
+    field       := NAME ("." (NAME | NUM))*
+
+An aggregate spec is a separate entry point::
+
+    aggspec     := aggcall ("," aggcall)* ("by" field ("," field)*)?
+    aggcall     := ("count" | "sum" | "min" | "max" | "avg") "(" args ")"
+
+Every failure raises :class:`~repro.errors.QuerySyntaxError` carrying
+the character position — never a bare traceback.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import QuerySyntaxError
+from repro.query.expr import (AGGREGATE_NAMES, BUILTIN_NAMES, Binary, Call,
+                              Expr, Field, Literal, Unary)
+from repro.query.lexer import KEYWORDS, Token, tokenize
+
+__all__ = ["parse", "parse_aggregate", "AggregateSpec"]
+
+_CMP_OPS = ("==", "!=", "<=", ">=", "<", ">")
+
+#: Required argument counts; ``count`` alone may also be nullary.
+_ARITY = {"has": 1, "len": 1, "abs": 1, "int": 1, "float": 1,
+          "startswith": 2, "count": 1, "sum": 1, "min": 1, "max": 1,
+          "avg": 1}
+
+
+class AggregateSpec:
+    """A parsed aggregate request: aggregate calls plus group-by fields."""
+
+    __slots__ = ("aggs", "by")
+
+    def __init__(self, aggs: Tuple[Call, ...], by: Tuple[Field, ...]) -> None:
+        self.aggs = tuple(aggs)
+        self.by = tuple(by)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, AggregateSpec)
+                and self.aggs == other.aggs and self.by == other.by)
+
+    def __hash__(self) -> int:
+        return hash((self.aggs, self.by))
+
+    def unparse(self) -> str:
+        text = ", ".join(a.unparse() for a in self.aggs)
+        if self.by:
+            text += " by " + ", ".join(f.unparse() for f in self.by)
+        return text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<AggregateSpec {self.unparse()!r}>"
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.i = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.i]
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def _at_op(self, *ops: str) -> bool:
+        return self.cur.kind == "OP" and self.cur.value in ops
+
+    def _at_keyword(self, word: str) -> bool:
+        return self.cur.kind == "NAME" and self.cur.value == word
+
+    def _expect_op(self, op: str) -> Token:
+        if not self._at_op(op):
+            raise self._error(f"expected {op!r}")
+        return self._advance()
+
+    def _error(self, message: str) -> QuerySyntaxError:
+        return QuerySyntaxError(message, self.text, self.cur.pos)
+
+    # -- grammar rules -----------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._or()
+
+    def _or(self) -> Expr:
+        node = self._and()
+        while self._at_keyword("or"):
+            self._advance()
+            node = Binary("or", node, self._and())
+        return node
+
+    def _and(self) -> Expr:
+        node = self._not()
+        while self._at_keyword("and"):
+            self._advance()
+            node = Binary("and", node, self._not())
+        return node
+
+    def _not(self) -> Expr:
+        if self._at_keyword("not"):
+            self._advance()
+            return Unary("not", self._not())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        node = self._additive()
+        if self._at_op(*_CMP_OPS):
+            op = self._advance().value
+            right = self._additive()
+            node = Binary(op, node, right)
+            if self._at_op(*_CMP_OPS):
+                raise self._error("comparisons do not chain; parenthesize")
+        return node
+
+    def _additive(self) -> Expr:
+        node = self._term()
+        while self._at_op("+", "-"):
+            op = self._advance().value
+            node = Binary(op, node, self._term())
+        return node
+
+    def _term(self) -> Expr:
+        node = self._unary()
+        while self._at_op("*", "/", "%"):
+            op = self._advance().value
+            node = Binary(op, node, self._unary())
+        return node
+
+    def _unary(self) -> Expr:
+        if self._at_op("-"):
+            self._advance()
+            return Unary("-", self._unary())
+        return self._atom()
+
+    def _atom(self) -> Expr:
+        tok = self.cur
+        if tok.kind == "NUM" or tok.kind == "STR":
+            self._advance()
+            return Literal(tok.value)
+        if tok.kind == "OP" and tok.value == "(":
+            self._advance()
+            node = self.parse_expr()
+            self._expect_op(")")
+            return node
+        if tok.kind == "NAME":
+            if tok.value == "true":
+                self._advance()
+                return Literal(True)
+            if tok.value == "false":
+                self._advance()
+                return Literal(False)
+            if tok.value == "none":
+                self._advance()
+                return Literal(None)
+            if tok.value in KEYWORDS:
+                raise self._error(f"unexpected keyword {tok.value!r}")
+            # Lookahead one token: NAME "(" is a call, else a field.
+            nxt = self.tokens[self.i + 1]
+            if nxt.kind == "OP" and nxt.value == "(":
+                return self._call()
+            return self._field()
+        raise self._error("expected a value, field, or '('")
+
+    def _call(self) -> Call:
+        name_tok = self._advance()
+        name = name_tok.value
+        if name not in AGGREGATE_NAMES and name not in BUILTIN_NAMES:
+            raise QuerySyntaxError(f"unknown function {name!r}",
+                                   self.text, name_tok.pos)
+        self._expect_op("(")
+        args: List[Expr] = []
+        if not self._at_op(")"):
+            args.append(self.parse_expr())
+            while self._at_op(","):
+                self._advance()
+                args.append(self.parse_expr())
+        self._expect_op(")")
+        want = _ARITY[name]
+        if len(args) != want and not (name == "count" and not args):
+            raise QuerySyntaxError(
+                f"{name}() takes {want} argument{'s' if want != 1 else ''}",
+                self.text, name_tok.pos)
+        return Call(name, tuple(args))
+
+    def _field(self) -> Field:
+        parts = [self._advance().value]
+        while self._at_op("."):
+            self._advance()
+            seg = self.cur
+            if seg.kind == "NAME" and seg.value not in KEYWORDS:
+                parts.append(seg.value)
+            elif seg.kind == "NUM" and isinstance(seg.value, int):
+                parts.append(str(seg.value))
+            else:
+                raise self._error("expected a field segment after '.'")
+            self._advance()
+        return Field(tuple(parts))
+
+    # -- aggregate entry point --------------------------------------------
+
+    def parse_aggspec(self) -> AggregateSpec:
+        aggs = [self._aggcall()]
+        while self._at_op(","):
+            self._advance()
+            aggs.append(self._aggcall())
+        by: List[Field] = []
+        if self._at_keyword("by"):
+            self._advance()
+            by.append(self._by_field())
+            while self._at_op(","):
+                self._advance()
+                by.append(self._by_field())
+        return AggregateSpec(tuple(aggs), tuple(by))
+
+    def _aggcall(self) -> Call:
+        tok = self.cur
+        if tok.kind != "NAME" or tok.value not in AGGREGATE_NAMES:
+            raise self._error(
+                "expected an aggregate call (count/sum/min/max/avg)")
+        nxt = self.tokens[self.i + 1]
+        if not (nxt.kind == "OP" and nxt.value == "("):
+            raise QuerySyntaxError(f"{tok.value} needs parentheses",
+                                   self.text, nxt.pos)
+        return self._call()
+
+    def _by_field(self) -> Field:
+        if self.cur.kind != "NAME" or self.cur.value in KEYWORDS:
+            raise self._error("expected a field name after 'by'")
+        return self._field()
+
+    def _expect_end(self) -> None:
+        if self.cur.kind != "END":
+            raise self._error("unexpected trailing input")
+
+
+def parse(text: str) -> Expr:
+    """Parse one scalar/boolean expression; the whole string must consume."""
+    p = _Parser(text)
+    node = p.parse_expr()
+    p._expect_end()
+    return node
+
+
+def parse_aggregate(text: str) -> AggregateSpec:
+    """Parse an aggregate spec: ``agg ("," agg)* ("by" field ...)?``."""
+    p = _Parser(text)
+    spec = p.parse_aggspec()
+    p._expect_end()
+    return spec

@@ -76,6 +76,83 @@ def test_load_trace_rejects_garbage(tmp_path):
         load_trace(str(bad))
 
 
+def test_load_trace_tolerates_torn_final_line(tmp_path):
+    """A SIGKILL mid-append leaves an unterminated tail; loading used to
+    blow up on it (regression: failed before the torn-tail fix)."""
+    torn = tmp_path / "torn.trace"
+    torn.write_text('{"ev": "end", "t": 1.0}\n{"ev": "beg')
+    assert load_trace(str(torn)) == [{"ev": "end", "t": 1.0}]
+
+
+def test_load_trace_torn_tolerance_needs_unterminated_tail(tmp_path):
+    # A malformed line that *is* newline-terminated cannot be a torn
+    # append — that's corruption, and it must stay a hard error.
+    bad = tmp_path / "bad.trace"
+    bad.write_text('{"ok": 1}\n{"ev": "beg\n')
+    with pytest.raises(ReproError, match="bad.trace:2"):
+        load_trace(str(bad))
+
+
+def test_load_trace_rejects_mid_file_corruption_despite_torn_tail(tmp_path):
+    bad = tmp_path / "bad.trace"
+    bad.write_text('{"ok": 1}\ngarbage\n{"ev": "beg')
+    with pytest.raises(ReproError, match="bad.trace:2"):
+        load_trace(str(bad))
+
+
+def test_load_trace_rejects_non_object_lines(tmp_path):
+    """A bare array parses as JSON but crashes every consumer; reject it
+    at the loader with the position (regression: build_report used to
+    die on AttributeError deep inside instead)."""
+    bad = tmp_path / "bad.trace"
+    bad.write_text('{"ok": 1}\n[1, 2]\n')
+    with pytest.raises(ReproError, match="bad.trace:2.*not a JSON object"):
+        load_trace(str(bad))
+
+
+def test_imbalance_timeline_clamps_out_of_range_timestamps():
+    """A negative timestamp must charge window 0, not the *last* window
+    via Python negative indexing (regression: failed before the lower
+    clamp), and the windows must conserve total busy time exactly."""
+    entries = [
+        {"ev": "end", "t": 100.0, "busy": {"0": 10.0},
+         "clock": {"0": 100.0}},
+        {"ev": "end", "t": -5.0, "busy": {"0": 7.0}},
+        # Past the makespan (only end/clock times extend it): upper clamp.
+        {"ev": "schedule", "t": 250.0, "busy": {"0": 3.0}},
+    ]
+    timeline = build_report(entries, windows=4)["imbalance_timeline"]
+    assert timeline[0]["busy_ns"] == 7.0
+    assert timeline[-1]["busy_ns"] == 10.0 + 3.0
+    assert sum(w["busy_ns"] for w in timeline) == 20.0
+
+
+def test_imbalance_windows_conserve_busy_on_real_trace(traced_run):
+    _, _, path = traced_run
+    entries = load_trace(path)
+    total = sum(ns for e in entries
+                for ns in e.get("busy", {}).values())
+    for windows in (1, 3, 8):
+        timeline = build_report(entries,
+                                windows=windows)["imbalance_timeline"]
+        assert sum(w["busy_ns"] for w in timeline) == pytest.approx(total)
+
+
+def test_empty_trace_report_is_finite_and_renderable():
+    """Zero entries / zero makespan must not produce NaN, a div-by-zero,
+    or a render crash (regression sweep for the empty-trace audit)."""
+    report = build_report([])
+    assert report["events"] == 0
+    assert report["utilization"]["makespan_ns"] == 0.0
+    assert report["utilization"]["per_pe"] == {}
+    assert report["imbalance_timeline"] == []
+    assert report["migrations"]["completed"] == 0
+    assert report["categories"] == {}
+    flat = json.dumps(report)
+    assert "NaN" not in flat and "Infinity" not in flat
+    assert render_report(report)  # must not raise
+
+
 def _cli(*args):
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(ROOT, "src")
@@ -106,3 +183,15 @@ def test_cli_text_mode_and_error_path(traced_run):
     missing = _cli("report", os.path.join(ROOT, "no-such.trace"))
     assert missing.returncode == 2
     assert missing.stderr.strip()
+
+
+def test_cli_empty_trace_is_a_diagnosed_error(tmp_path):
+    """An empty trace used to fall through to a meaningless all-zero
+    report; it is now a usage error: exit 2, one-line diagnostic."""
+    empty = tmp_path / "empty.trace"
+    empty.write_text("")
+    proc = _cli("report", str(empty))
+    assert proc.returncode == 2
+    assert proc.stdout == ""
+    assert len(proc.stderr.strip().splitlines()) == 1
+    assert "empty trace" in proc.stderr

@@ -1,0 +1,25 @@
+"""Shared fixtures: one golden chaos trace, re-executed once per
+session and used both in-memory (differential engine pins) and as a
+JSONL file (CLI tests)."""
+
+import json
+
+import pytest
+
+from repro.query.replay import parse_runspec, run_recorded
+
+GOLDEN_RUNSPEC = "chaos:stencil:seed=1"
+
+
+@pytest.fixture(scope="session")
+def chaos_trace():
+    return run_recorded(parse_runspec(GOLDEN_RUNSPEC))
+
+
+@pytest.fixture(scope="session")
+def chaos_trace_file(chaos_trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("query") / "chaos.trace"
+    with open(path, "w") as f:
+        for e in chaos_trace:
+            f.write(json.dumps(e) + "\n")
+    return str(path)

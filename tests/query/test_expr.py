@@ -1,0 +1,92 @@
+"""Total-evaluation semantics: queries over heterogeneous trace
+entries filter instead of crashing."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import compile_predicate, parse
+
+
+def ev(text, entry=None):
+    return parse(text).evaluate(entry if entry is not None else {})
+
+
+def test_missing_fields_are_none():
+    assert ev("nope") is None
+    assert ev("a.b.c", {"a": {"b": 1}}) is None
+    assert ev("a.b", {"a": 3}) is None
+    assert ev("has(nope)") is False
+    assert ev("has(t)", {"t": 0}) is True
+
+
+def test_field_digit_segments_index_dicts_and_lists():
+    assert ev("busy.0", {"busy": {"0": 7.5}}) == 7.5
+    assert ev("path.1", {"path": [10, 20]}) == 20
+    assert ev("path.9", {"path": [10, 20]}) is None
+
+
+def test_comparisons_against_missing_are_false_not_errors():
+    for text in ("t > 5", "5 > t", "t <= 5", "t >= t"):
+        assert ev(text) is False
+    # Equality still works against the hole.
+    assert ev("t == none") is True
+    assert ev("t != none") is False
+
+
+def test_incomparable_types_compare_false():
+    assert ev("'a' < 1") is False
+    assert ev("ev > 3", {"ev": "end"}) is False
+
+
+def test_arithmetic_propagates_the_hole():
+    assert ev("t + 1") is None
+    assert ev("-t") is None
+    assert ev("t * 2 > 10") is False
+    assert ev("1 / 0") is None
+    assert ev("1 % 0") is None
+    assert ev("-'abc'") is None
+    assert ev("'a' + 1") is None
+
+
+def test_and_or_are_python_valued():
+    assert ev("0 or 5") == 5
+    assert ev("0 and 5") == 0
+    assert ev("3 and 5") == 5
+    assert ev("'' or 'x'") == "x"
+    assert ev("not nope") is True
+
+
+def test_short_circuit_skips_the_right_operand():
+    # 1/0 evaluates to None (not an error), so prove short-circuit by
+    # value: the left operand must come back untouched.
+    assert ev("0 and (1 / 0)") == 0
+    assert ev("7 or (1 / 0)") == 7
+
+
+def test_scalar_builtins():
+    assert ev("len('abc')") == 3
+    assert ev("len(5)") is None
+    assert ev("abs(0 - 3)") == 3
+    assert ev("int('12')") == 12
+    assert ev("int('x')") is None
+    assert ev("float('2.5')") == 2.5
+    assert ev("startswith(category, 'net.')",
+              {"category": "net.ampi"}) is True
+    assert ev("startswith(category, 'net.')", {"category": 7}) is False
+    assert ev("startswith(nope, 'x')") is False
+
+
+def test_aggregates_refuse_scalar_context():
+    with pytest.raises(QueryError, match="aggregate"):
+        ev("count()")
+    with pytest.raises(QueryError, match="aggregate"):
+        ev("sum(t) > 3", {"t": 1})
+
+
+def test_predicates_are_total_over_garbage_entries():
+    pred = compile_predicate(
+        "t - sent > 1000 and startswith(category, 'net.') "
+        "and busy.0 / bytes < 2")
+    for entry in ({}, {"t": "str"}, {"category": 3}, {"busy": []},
+                  {"t": 1, "sent": None}, {"bytes": 0, "busy": {"0": 1}}):
+        assert pred(entry) is False

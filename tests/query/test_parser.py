@@ -1,0 +1,171 @@
+"""Parser properties: parse -> unparse -> parse is a fixed point, and
+every malformed input dies with a *positioned* syntax error, never a
+bare traceback."""
+
+import random
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query import (AggregateSpec, Binary, Call, Field, Literal,
+                         Unary, parse, parse_aggregate)
+
+# -- round trip: fixed cases ------------------------------------------------
+
+ROUNDTRIP = [
+    "ev == 'end'",
+    "ev == 'end' and not skipped",
+    "startswith(category, 'net.') and has(sent)",
+    "t - sent > 1000 or bytes >= 4096",
+    "busy.0 + busy.1",
+    "(a or b) and not (c or d)",
+    "-t * 2 + 1",
+    "1 + 2 * 3 - 4 / 5 % 6",
+    "(ev == 'end') == (ev != 'begin')",
+    "not not ok",
+    "len(msg.path) == 3",
+    "none == none",
+    "true and false or none",
+    "-(a + b)",
+    "a - (b - c)",
+    "a / (b * c)",
+    "int(float('2.5')) + abs(-x)",
+]
+
+
+@pytest.mark.parametrize("text", ROUNDTRIP)
+def test_unparse_is_a_fixed_point(text):
+    tree = parse(text)
+    canonical = tree.unparse()
+    again = parse(canonical)
+    assert again == tree
+    assert again.unparse() == canonical
+
+
+AGG_ROUNDTRIP = [
+    "count()",
+    "count(skipped)",
+    "count(), sum(bytes) by category",
+    "min(t), max(t), avg(t) by ev, category",
+    "sum(busy.0) by flow",
+]
+
+
+@pytest.mark.parametrize("text", AGG_ROUNDTRIP)
+def test_aggregate_unparse_is_a_fixed_point(text):
+    spec = parse_aggregate(text)
+    assert isinstance(spec, AggregateSpec)
+    canonical = spec.unparse()
+    again = parse_aggregate(canonical)
+    assert again == spec
+    assert again.unparse() == canonical
+
+
+# -- round trip: randomized trees -------------------------------------------
+
+_LITERALS = [0, 3, 42, 1000000, 0.5, 2.25, 100.0, True, False, None,
+             "x", "net.ampi", "it's", "a\\b", ""]
+_PATHS = [("ev",), ("t",), ("category",), ("busy", "0"),
+          ("msg", "src"), ("clock", "1", "deep")]
+_UNARY = ["not", "-"]
+_BINARY = ["or", "and", "==", "!=", "<", "<=", ">", ">=",
+           "+", "-", "*", "/", "%"]
+_CALLS_1 = ["has", "len", "abs", "int", "float"]
+
+
+def _tree(rng, depth):
+    # Nonnegative literals only: ``Literal(-3)`` unparses to ``-3``,
+    # which reparses as ``Unary('-', Literal(3))`` — a distinct (but
+    # equivalent) tree, so the generator leaves negation to Unary.
+    if depth <= 0 or rng.random() < 0.3:
+        if rng.random() < 0.5:
+            return Literal(rng.choice(_LITERALS))
+        return Field(rng.choice(_PATHS))
+    pick = rng.random()
+    if pick < 0.2:
+        return Unary(rng.choice(_UNARY), _tree(rng, depth - 1))
+    if pick < 0.35:
+        name = rng.choice(_CALLS_1 + ["startswith"])
+        n_args = 2 if name == "startswith" else 1
+        return Call(name, tuple(_tree(rng, depth - 1)
+                                for _ in range(n_args)))
+    return Binary(rng.choice(_BINARY), _tree(rng, depth - 1),
+                  _tree(rng, depth - 1))
+
+
+def test_random_trees_round_trip():
+    rng = random.Random(0x51C2)
+    for _ in range(300):
+        tree = _tree(rng, rng.randint(1, 4))
+        text = tree.unparse()
+        assert parse(text) == tree, text
+        assert parse(text).unparse() == text
+
+
+# -- malformed input: positioned errors, never tracebacks -------------------
+
+POSITIONED = [
+    ("", 0),
+    ("ev ==", 5),
+    ("a == b == c", 7),
+    ("1 +", 3),
+    ("(a", 2),
+    ("foo(x)", 0),
+    ("len()", 0),
+    ("startswith(a)", 0),
+    ("ev = 1", 3),
+    ("not", 3),
+    ("by", 0),
+    ("true.x", 4),
+    ("count() by ev", 8),
+]
+
+
+@pytest.mark.parametrize("text,pos", POSITIONED)
+def test_syntax_errors_carry_the_position(text, pos):
+    with pytest.raises(QuerySyntaxError) as exc:
+        parse(text)
+    assert exc.value.pos == pos
+    assert "column" in str(exc.value)
+
+
+MALFORMED = [
+    "'unterminated", "a.", "a..b", "a.'x'", "((a)", "a)",
+    "1 2", "and a", "a and", "a or or b", "* 3", "a !", "!= b",
+    "'bad \\q escape'", "len(a, b)", "has()", "a , b", "a.by",
+    "none(x)", "a == ", "--", "%", ".a", "count(", "sum(t))",
+]
+
+
+@pytest.mark.parametrize("text", MALFORMED)
+def test_malformed_input_never_leaks_a_traceback(text):
+    with pytest.raises(QuerySyntaxError) as exc:
+        parse(text)
+    assert 0 <= exc.value.pos <= len(text)
+
+
+AGG_MALFORMED = [
+    ("ev", 0),                # bare field is not an aggregate call
+    ("len(x)", 0),            # scalar builtin is not an aggregate
+    ("count", 5),             # aggregate without parentheses
+    ("count() by 1", 11),     # group key must be a field
+    ("count() by", 10),
+    ("count() sum()", 8),     # missing comma
+    ("sum()", 0),             # sum needs an argument
+]
+
+
+@pytest.mark.parametrize("text,pos", AGG_MALFORMED)
+def test_aggregate_spec_errors_carry_the_position(text, pos):
+    with pytest.raises(QuerySyntaxError) as exc:
+        parse_aggregate(text)
+    assert exc.value.pos == pos
+
+
+def test_caret_diagnostic_points_at_the_error():
+    with pytest.raises(QuerySyntaxError) as exc:
+        parse("ev == ")
+    caret = exc.value.caret()
+    line_text, line_caret = caret.splitlines()
+    assert "ev == " in line_text
+    assert line_caret.startswith(" " * len("ev == ") + "^")

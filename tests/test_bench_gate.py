@@ -36,7 +36,8 @@ def test_checked_in_baseline_is_complete():
     benches = doc["benches"]
     assert set(benches) == {"kernel_dispatch", "kernel_cancel",
                             "migration", "exec_overhead", "lint_flow",
-                            "compiled_switch", "serve_dedupe"}
+                            "compiled_switch", "serve_dedupe",
+                            "query_filter"}
     assert benches["kernel_dispatch"]["ns_per_event"] > 0
     assert benches["kernel_cancel"]["ns_per_event"] > 0
     assert benches["migration"]["ns_per_migration"] > 0
@@ -52,6 +53,11 @@ def test_checked_in_baseline_is_complete():
     assert benches["lint_flow"]["files"] > 60
     assert benches["compiled_switch"]["ns_per_dispatch"] > 0
     assert benches["compiled_switch"]["dispatches"] > 0
+    assert benches["query_filter"]["ns_per_entry"] > 0
+    assert benches["query_filter"]["entries"] == 100_000
+    # The synthetic workload is deterministic, so the match count is a
+    # work-sanity pin, not a timing.
+    assert benches["query_filter"]["matched"] == 13094
 
 
 def test_fast_path_kernel_baselines_recorded():

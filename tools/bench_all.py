@@ -67,6 +67,11 @@ BENCHES = {
         {"cells": 256, "repeats": 3},
         {"cells": 4, "repeats": 1},
         "ns_per_cell"),
+    "query_filter": (
+        "repro.obs.benches:run_query_filter",
+        {"entries": 100_000, "repeats": 3},
+        {"entries": 500, "repeats": 1},
+        "ns_per_entry"),
     "lint_flow": (
         "repro.obs.benches:run_lint_bench",
         {"paths": ["src", "examples"], "flow": True, "repeats": 2},

@@ -24,7 +24,7 @@ PACKAGES = [
     "repro.charm", "repro.ampi", "repro.balance", "repro.bigsim",
     "repro.pose", "repro.workloads", "repro.bench", "repro.analysis",
     "repro.analysis.flow", "repro.chaos", "repro.exec", "repro.obs",
-    "repro.serve",
+    "repro.query", "repro.serve",
 ]
 
 

@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""Repo-local trace-query launcher (no install needed).
+
+Equivalent to ``python -m repro.query`` with ``src/`` on the path::
+
+    python tools/query.py filter trace.jsonl "ev == 'end' and not skipped"
+    python tools/query.py bisect chaos:stencil:seed=1 chaos:stencil:seed=2
+    python tools/query.py at flows:stencil:form=compiled:ranks=4 @40
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "..", "src"))
+
+from repro.query.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
